@@ -1,0 +1,18 @@
+// mgs-micro reproduces Table 3 of the MGS paper: the cost of primitive
+// shared-memory operations, measured through the full protocol stack on
+// a 0-cycle-delay machine with 1K-byte pages.
+//
+// Usage:
+//
+//	mgs-micro
+package main
+
+import (
+	"fmt"
+
+	"mgs/internal/exp"
+)
+
+func main() {
+	fmt.Print(exp.Table3())
+}

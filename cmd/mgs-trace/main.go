@@ -1,0 +1,84 @@
+// mgs-trace runs an application with the protocol tracer attached and
+// prints the MGS protocol event stream — the tool used to diagnose
+// every protocol race found while building this system.
+//
+// Usage:
+//
+//	mgs-trace -app water -p 8 -c 2 [-page 5] [-from 0] [-to 1e9] [-max 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mgs/internal/exp"
+	"mgs/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mgs-trace: ")
+	var (
+		app   = flag.String("app", "water", "application to trace")
+		p     = flag.Int("p", 8, "total processors")
+		c     = flag.Int("c", 2, "processors per SSMP")
+		page  = flag.Int64("page", -1, "only events for this page (-1: all)")
+		from  = flag.Int64("from", 0, "suppress events before this cycle")
+		to    = flag.Int64("to", 1<<62, "suppress events after this cycle")
+		max   = flag.Int("max", 500, "stop printing after this many events")
+		small = flag.Bool("small", true, "use reduced problem sizes")
+	)
+	flag.Parse()
+
+	mk := exp.NewApp
+	if *small {
+		mk = exp.SmallApp
+	}
+	a := mk(*app)
+	m := harness.NewMachine(exp.Config(*p, *c))
+	printed := 0
+	filter := ""
+	if *page >= 0 {
+		filter = fmt.Sprintf("page=%d ", *page)
+	}
+	m.DSM.TraceFn = func(f string, args ...any) {
+		if printed >= *max {
+			return
+		}
+		line := fmt.Sprintf(f, args...)
+		if filter != "" && !strings.Contains(line, filter) {
+			return
+		}
+		var t int64
+		fmt.Sscanf(line, "t=%d", &t)
+		if t < *from || t > *to {
+			return
+		}
+		printed++
+		fmt.Println(line)
+	}
+	a.Setup(m)
+	res, err := m.Run(a.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Verify(m); err != nil {
+		log.Fatalf("verification: %v", err)
+	}
+	fmt.Printf("-- %d events printed; run took %s cycles\n", printed, comma(int64(res.Cycles)))
+}
+
+// comma renders n with thousands separators.
+func comma(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+// Writing your own application against the machine API: a parallel
+// histogram with per-bucket locks, verified against a host-side
+// reference, swept across cluster sizes.
+//
+// It also demonstrates the false-sharing trade-off the paper's §2.2
+// discusses: buckets packed onto few pages thrash the software protocol
+// at small cluster sizes, while page-padded buckets do not.
+//
+//	go run ./examples/customapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mgs"
+)
+
+// histogram bins values into shared buckets under per-bucket locks.
+type histogram struct {
+	items   int
+	buckets int
+	padded  bool // one page per bucket instead of packed
+
+	data mgs.Addr
+	bins mgs.Addr
+	step int
+}
+
+func (h *histogram) Name() string { return "histogram" }
+
+func (h *histogram) value(i int) int64 { return int64((i*2654435761 + 12345) % 997) }
+
+// Setup allocates the input and the buckets (packed or padded).
+func (h *histogram) Setup(m *mgs.Machine) {
+	h.data = m.Alloc(h.items * 8)
+	for i := 0; i < h.items; i++ {
+		m.SetI64(h.data+mgs.Addr(i*8), h.value(i))
+	}
+	h.step = 8
+	if h.padded {
+		h.step = m.Cfg.PageSize
+	}
+	h.bins = m.Alloc(h.buckets * h.step)
+}
+
+// Body bins a block of items.
+func (h *histogram) Body(c *mgs.Ctx) {
+	per := h.items / c.NProcs
+	lo := c.ID * per
+	hi := lo + per
+	if c.ID == c.NProcs-1 {
+		hi = h.items
+	}
+	for i := lo; i < hi; i++ {
+		v := c.LoadI64(h.data + mgs.Addr(i*8))
+		b := int(v) * h.buckets / 997
+		addr := h.bins + mgs.Addr(b*h.step)
+		c.Acquire(1 + b)
+		c.StoreI64(addr, c.LoadI64(addr)+1)
+		c.Release(1 + b)
+	}
+	c.Barrier(0)
+}
+
+// Verify recounts on the host.
+func (h *histogram) Verify(m *mgs.Machine) error {
+	want := make([]int64, h.buckets)
+	for i := 0; i < h.items; i++ {
+		want[int(h.value(i))*h.buckets/997]++
+	}
+	for b := 0; b < h.buckets; b++ {
+		if got := m.GetI64(h.bins + mgs.Addr(b*h.step)); got != want[b] {
+			return fmt.Errorf("bucket %d = %d, want %d", b, got, want[b])
+		}
+	}
+	return nil
+}
+
+func main() {
+	const p = 8
+	fmt.Printf("parallel histogram, P=%d, 2048 items, 32 buckets\n\n", p)
+	fmt.Printf("  %-4s %18s %18s\n", "C", "packed (cycles)", "padded (cycles)")
+	for c := 1; c <= p; c *= 2 {
+		packed, err := mgs.RunApp(&histogram{items: 2048, buckets: 32}, mgs.DefaultConfig(p, c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		padded, err := mgs.RunApp(&histogram{items: 2048, buckets: 32, padded: true}, mgs.DefaultConfig(p, c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4d %18d %18d\n", c, packed.Cycles, padded.Cycles)
+	}
+	fmt.Println("\nPacked buckets false-share pages, so small cluster sizes pay the")
+	fmt.Println("software protocol on nearly every update; padding restores layout")
+	fmt.Println("locality and the gap closes.")
+}

@@ -1,0 +1,36 @@
+// The paper's §5.2.3 story in miniature: the Water force-interaction
+// kernel before and after the tiling transformation that gives it
+// perfect multigrain locality (Figure 12).
+//
+//	go run ./examples/waterkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mgs"
+	"mgs/internal/apps"
+)
+
+func main() {
+	const p, n = 8, 128
+	fmt.Printf("Water force kernel, %d molecules, P=%d\n\n", n, p)
+	fmt.Printf("  %-4s %16s %16s %9s\n", "C", "plain (cycles)", "tiled (cycles)", "speedup")
+	for c := 1; c <= p; c *= 2 {
+		cfg := mgs.DefaultConfig(p, c)
+		plain, err := mgs.RunApp(&apps.WaterKernel{N: n, Tiled: false}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tiled, err := mgs.RunApp(&apps.WaterKernel{N: n, Tiled: true}, mgs.DefaultConfig(p, c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4d %16d %16d %8.1fx\n",
+			c, plain.Cycles, tiled.Cycles, float64(plain.Cycles)/float64(tiled.Cycles))
+	}
+	fmt.Println("\nThe tiled kernel confines all sharing within an SSMP during each")
+	fmt.Println("phase; only phase boundaries cross SSMPs, at page grain. That is")
+	fmt.Println("multigrain locality — and why its breakup penalty collapses.")
+}

@@ -1,0 +1,3 @@
+module mgs
+
+go 1.22

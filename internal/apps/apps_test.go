@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"testing"
+
+	"mgs/internal/harness"
+)
+
+// smallCfg returns a quick machine for app correctness tests.
+func smallCfg(p, c int) harness.Config {
+	cfg := harness.DefaultConfig(p, c)
+	cfg.Delay = 400
+	return cfg
+}
+
+// runShapes runs the app across several machine shapes (uniprocessor,
+// all-software, mixed, all-hardware) and fails on any verification
+// error.
+func runShapes(t *testing.T, mk func() harness.App) {
+	t.Helper()
+	shapes := []struct{ p, c int }{{1, 1}, {4, 1}, {4, 2}, {8, 4}, {8, 8}}
+	for _, sh := range shapes {
+		res, err := harness.RunApp(mk(), smallCfg(sh.p, sh.c))
+		if err != nil {
+			t.Fatalf("P=%d C=%d: %v", sh.p, sh.c, err)
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("P=%d C=%d: non-positive runtime", sh.p, sh.c)
+		}
+	}
+}
+
+func TestJacobiAllShapes(t *testing.T) {
+	runShapes(t, func() harness.App { return &Jacobi{N: 32, Iters: 3} })
+}
+
+func TestMatMulAllShapes(t *testing.T) {
+	runShapes(t, func() harness.App { return &MatMul{N: 20} })
+}
+
+func TestJacobiDeterministic(t *testing.T) {
+	run := func() int64 {
+		res, err := harness.RunApp(&Jacobi{N: 24, Iters: 2}, smallCfg(4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Cycles)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// TestJacobiSpeedsUpWithProcs: parallel hardware config must beat the
+// uniprocessor.
+func TestJacobiSpeedsUpWithProcs(t *testing.T) {
+	seq, err := harness.RunApp(&Jacobi{N: 48, Iters: 2}, smallCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := harness.RunApp(&Jacobi{N: 48, Iters: 2}, smallCfg(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Cycles*2 >= seq.Cycles {
+		t.Fatalf("8-proc run (%d) not at least 2x faster than seq (%d)", par.Cycles, seq.Cycles)
+	}
+}
+
+func TestTSPAllShapes(t *testing.T) {
+	runShapes(t, func() harness.App { return &TSP{NCities: 7, Depth: 3} })
+}
+
+func TestTSPNineCities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := harness.RunApp(NewTSP(), smallCfg(8, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaterAllShapes(t *testing.T) {
+	runShapes(t, func() harness.App { return &Water{N: 16, Iters: 2} })
+}
+
+func TestBarnesHutAllShapes(t *testing.T) {
+	runShapes(t, func() harness.App { return &BarnesHut{NBodies: 24, Iters: 2, Theta: 0.6} })
+}
+
+func TestWaterKernelPlainAllShapes(t *testing.T) {
+	runShapes(t, func() harness.App { return &WaterKernel{N: 64, Tiled: false} })
+}
+
+func TestWaterKernelTiledAllShapes(t *testing.T) {
+	// N must be a multiple of 16 × SSMPs for page-aligned tiles.
+	shapes := []struct{ p, c int }{{4, 1}, {4, 2}, {8, 4}, {8, 8}}
+	for _, sh := range shapes {
+		if _, err := harness.RunApp(&WaterKernel{N: 64, Tiled: true}, smallCfg(sh.p, sh.c)); err != nil {
+			t.Fatalf("P=%d C=%d: %v", sh.p, sh.c, err)
+		}
+	}
+}
+
+// TestWaterKernelTiledBeatsPlainAtSmallClusters reproduces the essence
+// of Figure 12: at small cluster sizes the tiled kernel must beat the
+// plain kernel decisively.
+func TestWaterKernelTiledBeatsPlain(t *testing.T) {
+	plain, err := harness.RunApp(&WaterKernel{N: 64, Tiled: false}, smallCfg(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := harness.RunApp(&WaterKernel{N: 64, Tiled: true}, smallCfg(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.Cycles*2 > plain.Cycles {
+		t.Fatalf("tiled (%d) not at least 2x faster than plain (%d) at C=2", tiled.Cycles, plain.Cycles)
+	}
+}
+
+// TestWaterShapeMatrix sweeps Water — historically the best protocol
+// bug-finder in this repository — across a dense shape matrix.
+func TestWaterShapeMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, p := range []int{4, 8, 16} {
+		for c := 1; c <= p; c *= 2 {
+			if _, err := harness.RunApp(&Water{N: 24, Iters: 2}, smallCfg(p, c)); err != nil {
+				t.Errorf("P=%d C=%d: %v", p, c, err)
+			}
+		}
+	}
+}
+
+// TestWaterKernelShapeMatrix does the same for the plain kernel.
+func TestWaterKernelShapeMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, p := range []int{8, 16} {
+		for c := 1; c <= p; c *= 2 {
+			if _, err := harness.RunApp(&WaterKernel{N: 48, Tiled: false}, smallCfg(p, c)); err != nil {
+				t.Errorf("P=%d C=%d: %v", p, c, err)
+			}
+		}
+	}
+}
+
+func TestLUAllShapes(t *testing.T) {
+	runShapes(t, func() harness.App { return &LU{N: 32, B: 8} })
+}
+
+func TestLUDefaultSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := harness.RunApp(NewLU(), smallCfg(16, 4)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"mgs/internal/harness"
+	"mgs/internal/vm"
+)
+
+// Water is the SPLASH-style N-body molecular dynamics code (§5.2,
+// Figure 9): a global molecule array distributed across processors,
+// O(N²) pairwise force interactions guarded by per-molecule locks, and
+// a global statistics record whose home processor sees extra traffic.
+// Processors scan the molecule array linearly starting from their own
+// portion, so neighbours in the same SSMP share at fine grain — the
+// multigrain-friendly pattern that gives Water its 67% potential.
+type Water struct {
+	N     int // molecules
+	Iters int
+
+	mol F64Array // N × molWords (pos 0-2, vel 3-5, force 6-8)
+	kin vm.Addr  // global kinetic-energy accumulator
+}
+
+const molWords = 16 // 128 bytes per molecule: 8 per 1K page
+
+const (
+	waterStatsLock = 0
+	waterLockBase  = 1 // molecule i's lock is waterLockBase + i
+)
+
+const waterDT = 1e-3
+
+// NewWater returns the default instance (scaled from 343 molecules,
+// 2 iterations).
+func NewWater() *Water { return &Water{N: 64, Iters: 2} }
+
+// Name implements harness.App.
+func (w *Water) Name() string { return "water" }
+
+// initialMol returns molecule i's deterministic initial position and
+// velocity.
+func initialMol(i int) (pos, vel [3]float64) {
+	for d := 0; d < 3; d++ {
+		pos[d] = float64((i*7+d*13)%29) / 29.0 * 4.0
+		vel[d] = float64((i*11+d*17)%23-11) / 230.0
+	}
+	return pos, vel
+}
+
+// Setup allocates and initializes the molecule array and statistics.
+func (w *Water) Setup(m *harness.Machine) {
+	// The global molecule array is distributed among processors
+	// (paper §5.2.1): each block of molecules — and its per-molecule
+	// locks — lives with its owner.
+	owner := func(i int) int {
+		for id := 0; id < m.Cfg.P; id++ {
+			lo, hi := blockRange(w.N, id, m.Cfg.P)
+			if i >= lo && i < hi {
+				return id
+			}
+		}
+		return 0
+	}
+	molPerPage := m.Cfg.PageSize / (molWords * 8)
+	w.mol = F64Array{
+		Base: m.AllocHomed(w.N*molWords*8, func(page int) int { return owner(page * molPerPage) }),
+		N:    w.N * molWords,
+	}
+	for i := 0; i < w.N; i++ {
+		m.Sync.LockHomed(waterLockBase+i, owner(i))
+	}
+	for i := 0; i < w.N; i++ {
+		pos, vel := initialMol(i)
+		for d := 0; d < 3; d++ {
+			w.mol.Set(m, i*molWords+d, pos[d])
+			w.mol.Set(m, i*molWords+3+d, vel[d])
+			w.mol.Set(m, i*molWords+6+d, 0)
+		}
+	}
+	w.kin = m.Alloc(8)
+	m.SetF64(w.kin, 0)
+}
+
+// pairForce is the interaction kernel (softened inverse-cube pull
+// toward the origin-relative displacement).
+func pairForce(pi, pj [3]float64) [3]float64 {
+	var d [3]float64
+	r2 := 0.0
+	for k := 0; k < 3; k++ {
+		d[k] = pi[k] - pj[k]
+		r2 += d[k] * d[k]
+	}
+	inv := 1.0 / (r2*math.Sqrt(r2) + 0.1)
+	var f [3]float64
+	for k := 0; k < 3; k++ {
+		f[k] = d[k] * inv
+	}
+	return f
+}
+
+func (w *Water) loadPos(c *harness.Ctx, i int) [3]float64 {
+	return [3]float64{
+		w.mol.Load(c, i*molWords),
+		w.mol.Load(c, i*molWords+1),
+		w.mol.Load(c, i*molWords+2),
+	}
+}
+
+// Body runs the predictor / force / corrector phases per iteration.
+func (w *Water) Body(c *harness.Ctx) {
+	lo, hi := blockRange(w.N, c.ID, c.NProcs)
+	for it := 0; it < w.Iters; it++ {
+		// Phase 1: zero own forces.
+		for i := lo; i < hi; i++ {
+			for k := 0; k < 3; k++ {
+				w.mol.Store(c, i*molWords+6+k, 0)
+			}
+		}
+		c.Barrier(0)
+
+		// Phase 2: pairwise interactions for my molecules against all
+		// higher-numbered ones; both sides' forces update under the
+		// per-molecule locks.
+		for i := lo; i < hi; i++ {
+			pi := w.loadPos(c, i)
+			for j := i + 1; j < w.N; j++ {
+				pj := w.loadPos(c, j)
+				f := pairForce(pi, pj)
+				flop(c, 5000)
+				c.Acquire(waterLockBase + i)
+				for k := 0; k < 3; k++ {
+					w.mol.Store(c, i*molWords+6+k, w.mol.Load(c, i*molWords+6+k)+f[k])
+				}
+				c.Release(waterLockBase + i)
+				c.Acquire(waterLockBase + j)
+				for k := 0; k < 3; k++ {
+					w.mol.Store(c, j*molWords+6+k, w.mol.Load(c, j*molWords+6+k)-f[k])
+				}
+				c.Release(waterLockBase + j)
+			}
+		}
+		c.Barrier(1)
+
+		// Phase 3: integrate own molecules; fold kinetic energy into
+		// the global statistics under its lock.
+		part := 0.0
+		for i := lo; i < hi; i++ {
+			for k := 0; k < 3; k++ {
+				v := w.mol.Load(c, i*molWords+3+k) + waterDT*w.mol.Load(c, i*molWords+6+k)
+				w.mol.Store(c, i*molWords+3+k, v)
+				p := w.mol.Load(c, i*molWords+k) + waterDT*v
+				w.mol.Store(c, i*molWords+k, p)
+				part += 0.5 * v * v
+				flop(c, 6)
+			}
+		}
+		if hi > lo {
+			c.Acquire(waterStatsLock)
+			c.StoreF64(w.kin, c.LoadF64(w.kin)+part)
+			c.Release(waterStatsLock)
+		}
+		c.Barrier(2)
+	}
+}
+
+// Verify replays the simulation on the host and compares every
+// molecule's state plus the energy statistic (tolerantly: parallel
+// accumulation order perturbs the last float bits).
+func (w *Water) Verify(m *harness.Machine) error {
+	n := w.N
+	pos := make([][3]float64, n)
+	vel := make([][3]float64, n)
+	force := make([][3]float64, n)
+	for i := 0; i < n; i++ {
+		pos[i], vel[i] = initialMol(i)
+	}
+	kin := 0.0
+	for it := 0; it < w.Iters; it++ {
+		for i := range force {
+			force[i] = [3]float64{}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				f := pairForce(pos[i], pos[j])
+				for k := 0; k < 3; k++ {
+					force[i][k] += f[k]
+					force[j][k] -= f[k]
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < 3; k++ {
+				vel[i][k] += waterDT * force[i][k]
+				pos[i][k] += waterDT * vel[i][k]
+				kin += 0.5 * vel[i][k] * vel[i][k]
+			}
+		}
+	}
+	const tol = 1e-9
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			if got := w.mol.Get(m, i*molWords+k); !approxEqual(got, pos[i][k], tol) {
+				return fmt.Errorf("mol %d pos[%d] = %g, want %g", i, k, got, pos[i][k])
+			}
+			if got := w.mol.Get(m, i*molWords+3+k); !approxEqual(got, vel[i][k], tol) {
+				return fmt.Errorf("mol %d vel[%d] = %g, want %g", i, k, got, vel[i][k])
+			}
+		}
+	}
+	return checkClose("kinetic energy", m.GetF64(w.kin), kin, 1e-9)
+}
+
+// MolAddr exposes molecule i's base address (tests and tools).
+func (w *Water) MolAddr(i int) vm.Addr { return w.mol.At(i * molWords) }
+
+// KinAddr exposes the kinetic-energy accumulator address (tests).
+func (w *Water) KinAddr() vm.Addr { return w.kin }

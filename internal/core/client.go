@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"mgs/internal/cache"
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+	"mgs/internal/vm"
+)
+
+// fault is the Local Client: it runs on the faulting processor and
+// resolves a TLB fault on page v (Table 1 arcs 1–7). On return the TLB
+// holds a sufficient mapping (the caller retries the access).
+func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
+	// A fault is ordering-relevant: yield so every event and processor
+	// segment at or before this clock settles first. Without this, a
+	// processor that has run ahead can physically seize the page-table
+	// lock "from the future", inverting virtual-time lock order and
+	// charging enormous phantom waits to earlier faulters.
+	p.Yield()
+	c := &s.cfg.Costs
+	s.spend(p, stats.MGS, c.FaultEntry)
+	if write {
+		s.st.Count("fault.write", 1)
+	} else {
+		s.st.Count("fault.read", 1)
+	}
+
+	if s.cfg.Disabled {
+		s.nullFill(p, ss, v, write)
+		return
+	}
+
+	cp := ss.ensurePage(v)
+	s.lockProc(cp, p, stats.MGS)
+
+	switch {
+	case cp.state == PWrite || (cp.state == PRead && !write):
+		// Arc 1 / arcs 3,4: mapping exists locally; fill the TLB.
+		s.spend(p, stats.MGS, c.TLBFill)
+		s.trace("t=%d page=%d LOCALFILL proc %d write=%v state=%v", p.Clock(), v, p.ID, write, cp.state)
+		s.st.Count("tlbfill.local", 1)
+		priv := vm.Read
+		if cp.state == PWrite && write {
+			priv = vm.Write
+		}
+		s.insertTLB(ss, p.ID, v, priv)
+		cp.tlbDir |= bit(s.within(p.ID))
+		if write {
+			ss.duqs[s.within(p.ID)].add(v)
+			if s.ssmpOf(s.server(v).homeProc) == cp.ssmp {
+				s.server(v).homeDirty = true
+			}
+		}
+		s.unlock(cp, p.Clock())
+
+	case cp.state == PRead && write:
+		// Arc 2: upgrade from read to write privilege.
+		s.st.Count("upgrade", 1)
+		cp.tlbDir |= bit(s.within(p.ID))
+		s.spend(p, stats.MGS, s.net.SendCost())
+		cpRef := cp
+		s.net.Send(p.ID, cp.ownerProc, p.Clock(), c.CtrlBytes, c.UpWork,
+			func(at sim.Time) { s.onUpgrade(cpRef, p, at) })
+		s.parkCharge(p, stats.MGS) // woken by the UP_ACK handler
+		// The UP_ACK handler filled the TLB, added the page to the
+		// DUQ, and released the page-table lock.
+
+	case cp.state == PInv:
+		// Arc 5: no copy in this SSMP; request one from the Server.
+		cp.state = PBusy
+		if write {
+			s.st.Count("wreq", 1)
+		} else {
+			s.st.Count("rreq", 1)
+		}
+		sp := s.server(v)
+		s.spend(p, stats.MGS, s.net.SendCost())
+		cpRef, w := cp, write
+		s.net.Send(p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.ReqWork,
+			func(at sim.Time) { s.onRequest(sp, cpRef, p, w, at) })
+		s.parkCharge(p, stats.MGS) // woken by the RDAT/WDAT handler
+
+	default:
+		panic(fmt.Sprintf("core: fault on page %d in state %v with lock held", v, cp.state))
+	}
+}
+
+// nullFill is the Disabled-mode fill: plain software virtual memory with
+// no coherence protocol. Every page maps the home frame directly.
+func (s *System) nullFill(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
+	cp := ss.ensurePage(v)
+	if cp.state == PInv {
+		sp := s.server(v)
+		cp.frame = sp.frame
+		cp.ownerProc = sp.homeProc
+		cp.dir = s.newDir(cp)
+		ss.domain.Register(cp.frame, cp.dir)
+		cp.state = PWrite
+	}
+	s.spend(p, stats.User, s.cfg.Costs.NullFill)
+	s.st.Count("tlbfill.null", 1)
+	s.insertTLB(ss, p.ID, v, vm.Write)
+	_ = write
+}
+
+// insertTLB fills p's software TLB, keeping the page's tlbDir mask in
+// step when the fill evicts another mapping.
+func (s *System) insertTLB(ss *ssmpState, proc int, v vm.Page, priv vm.Priv) {
+	evicted, did := s.tlbs[proc].Insert(v, priv)
+	if did {
+		if old, ok := ss.pages[evicted]; ok {
+			old.tlbDir &^= bit(s.within(proc))
+		}
+	}
+}
+
+// newDir builds the frame directory for cp using its permanent
+// first-touch placement.
+func (s *System) newDir(cp *clientPage) *cache.Dir {
+	return cache.NewDir(s.within(cp.ownerProc), s.cfg.PageSize, s.cfg.CacheParams.LineSize)
+}
+
+// onUpgrade is the Remote Client's UPGRADE handler (arc 13), running on
+// the processor owning the SSMP's copy. The requester holds the
+// page-table lock, so this handler runs lock-free.
+func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
+	c := &s.cfg.Costs
+	o := cp.ownerProc
+	if cp.state == PRead {
+		sp := s.server(cp.page)
+		isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
+		if !isHome {
+			at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.TwinPerByte)
+			cp.twin = cp.frame.Snapshot()
+			s.st.Count("twin", 1)
+		}
+		cp.state = PWrite
+		if isHome {
+			// The home SSMP writes the home frame in place; no twin,
+			// no WNOTIFY — only the retention veto.
+			sp.homeDirty = true
+		} else {
+			// WNOTIFY to the Server (arc 18).
+			ssmp := cp.ssmp
+			s.net.Send(o, sp.homeProc, at, c.CtrlBytes, 0, func(at2 sim.Time) {
+				s.st.Count("wnotify", 1)
+				s.trace("t=%d page=%d WNOTIFY from ssmp %d (state %d)", at2, sp.page, ssmp, sp.state)
+				sp.readDir &^= bit(ssmp)
+				sp.writeDir |= bit(ssmp)
+				if sp.state == sRead {
+					sp.state = sWrite
+				}
+			})
+		}
+	}
+	// UP_ACK back to the requester (arc 7).
+	v := cp.page
+	s.net.Send(o, requester.ID, at, c.CtrlBytes, 0, func(at2 sim.Time) {
+		ss := s.ssmps[cp.ssmp]
+		ss.duqs[s.within(requester.ID)].add(v)
+		s.insertTLB(ss, requester.ID, v, vm.Write)
+		s.unlock(cp, at2)
+		requester.Wake(at2)
+	})
+}

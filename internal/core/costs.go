@@ -1,0 +1,107 @@
+package core
+
+import "mgs/internal/sim"
+
+// Costs parameterizes the software side of the MGS protocol, in cycles.
+// The Table 3 software numbers (TLB fill, inter-SSMP misses, releases)
+// are not set here directly — they emerge from protocol execution over
+// these primitives plus the message costs in internal/msg; the defaults
+// are calibrated so the emergent values land near the paper's (see the
+// calibration test in internal/harness).
+type Costs struct {
+	TransArray sim.Time // in-line translation, distributed-array access
+	TransPtr   sim.Time // in-line translation, pointer dereference
+
+	FaultEntry sim.Time // trap into the Local Client and state save
+	PTLockOp   sim.Time // acquire or release a page-table lock
+	TLBFill    sim.Time // page-table walk plus software TLB insert
+	NullFill   sim.Time // plain SVM fill when MGS is disabled (C = P)
+	MapPage    sim.Time // frame allocation and mapping bookkeeping
+
+	RelWork   sim.Time // server-side bookkeeping per REL
+	ReqWork   sim.Time // server-side bookkeeping per RREQ/WREQ
+	UpWork    sim.Time // remote-client work per UPGRADE
+	PinvWork  sim.Time // per-processor TLB shootdown handler work
+	MergeWork sim.Time // fixed cost to start a diff merge at the home
+
+	TwinPerByte  sim.Time // twin (page snapshot) copy, cycles per byte
+	DiffPerByte  sim.Time // twin-vs-page comparison scan, cycles per byte
+	ApplyPerByte sim.Time // diff merge at the home, cycles per byte
+
+	CtrlBytes   int // payload of a control message
+	DiffHdrByte int // per-range overhead in a DIFF payload
+
+	// SingleWriter enables the paper's single-writer optimization:
+	// when a release finds exactly one outstanding write copy, the
+	// whole page is shipped home instead of a diff and the writer SSMP
+	// keeps its copy.
+	SingleWriter bool
+
+	// SerialInv makes the Server invalidate one copy at a time during a
+	// release, waiting for each reply before the next INV — the eager
+	// behaviour MGS's measured release costs imply. Clearing it sends
+	// all INVs at once (an ablation).
+	SerialInv bool
+
+	// MigrateAfter, when positive, enables dynamic home migration (the
+	// paper leaves homes "fixed for all time" and names runtime
+	// locality support as future work): after this many consecutive
+	// remote page serves to the same SSMP with no intervening activity
+	// from others, the page's home moves there at the next quiescent
+	// point (a release round that leaves no copies outstanding).
+	MigrateAfter int
+
+	// LazyRelease switches the consistency protocol from the paper's
+	// eager release (every release invalidates all copies) to a
+	// TreadMarks-style lazy variant (the other side of the paper's §6
+	// comparison): a release only pushes the releaser's own diff to the
+	// home and advances the page's version; other copies go stale in
+	// place. Coherence moves to acquire time — every lock grant and
+	// barrier exit validates the acquiring SSMP's copies against the
+	// home versions (idealized write notices), flushing dirty stale
+	// pages and invalidating clean ones. SingleWriter, UpdateProtocol,
+	// and MigrateAfter have no effect in this mode (the eager release
+	// round they modify never runs). See lazy.go.
+	LazyRelease bool
+
+	// UpdateProtocol switches release rounds from invalidate to update
+	// (the Galactica Net comparison from the paper's related work):
+	// copies are not torn down; after the merge, the home pushes the
+	// merged page back to every copy, which replays its own concurrent
+	// writes on top. Releases complete only after every copy has
+	// acknowledged its refresh. Mappings survive, so steady
+	// producer-consumer sharing stops paying refetch costs, at the
+	// price of page pushes to every sharer on every release.
+	UpdateProtocol bool
+}
+
+// DefaultCosts returns the calibrated cost table (20 MHz Alewife,
+// 1K-byte pages).
+func DefaultCosts() Costs {
+	return Costs{
+		TransArray: 18,
+		TransPtr:   24,
+
+		FaultEntry: 400,
+		PTLockOp:   120,
+		TLBFill:    480,
+		NullFill:   120,
+		MapPage:    1000,
+
+		RelWork:   300,
+		ReqWork:   600,
+		UpWork:    200,
+		PinvWork:  150,
+		MergeWork: 200,
+
+		TwinPerByte:  6,
+		DiffPerByte:  4,
+		ApplyPerByte: 1,
+
+		CtrlBytes:   32,
+		DiffHdrByte: 8,
+
+		SingleWriter: true,
+		SerialInv:    true,
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+// Munin-style twin/diff machinery (paper §3.1.1). When an SSMP obtains
+// write privilege on a page it snapshots the page (the twin). At
+// invalidation time the protocol compares the current page against the
+// twin and ships only the changed byte ranges back to the home, which
+// merges them. Two SSMPs writing disjoint parts of one page therefore
+// both get their writes home — the multiple-writer protocol that makes
+// page-grain false sharing survivable.
+
+// DiffRange is one changed run of bytes.
+type DiffRange struct {
+	Off  int
+	Data []byte
+}
+
+// Diff is the set of changed ranges of one page, in ascending offset
+// order.
+type Diff []DiffRange
+
+// ComputeDiff compares the current page contents against its twin and
+// returns the changed ranges (with the current values). Adjacent changed
+// bytes coalesce into one range.
+func ComputeDiff(twin, cur []byte) Diff {
+	if len(twin) != len(cur) {
+		panic("core: twin/page size mismatch")
+	}
+	var d Diff
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && twin[j] != cur[j] {
+			j++
+		}
+		data := make([]byte, j-i)
+		copy(data, cur[i:j])
+		d = append(d, DiffRange{Off: i, Data: data})
+		i = j
+	}
+	return d
+}
+
+// Apply merges the diff into dst (the home copy).
+func (d Diff) Apply(dst []byte) {
+	for _, r := range d {
+		copy(dst[r.Off:r.Off+len(r.Data)], r.Data)
+	}
+}
+
+// Bytes is the payload size of the diff: changed data plus a fixed
+// per-range header of hdr bytes.
+func (d Diff) Bytes(hdr int) int {
+	n := 0
+	for _, r := range d {
+		n += len(r.Data) + hdr
+	}
+	return n
+}
+
+// Len reports the number of ranges.
+func (d Diff) Len() int { return len(d) }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeDiffEmpty(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	if d := ComputeDiff(twin, cur); len(d) != 0 {
+		t.Fatalf("diff of identical pages has %d ranges", len(d))
+	}
+}
+
+func TestComputeDiffCoalesces(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[10], cur[11], cur[12] = 1, 2, 3
+	cur[40] = 9
+	d := ComputeDiff(twin, cur)
+	if len(d) != 2 {
+		t.Fatalf("got %d ranges, want 2: %+v", len(d), d)
+	}
+	if d[0].Off != 10 || len(d[0].Data) != 3 {
+		t.Fatalf("range 0 = %+v", d[0])
+	}
+	if d[1].Off != 40 || len(d[1].Data) != 1 {
+		t.Fatalf("range 1 = %+v", d[1])
+	}
+	if d.Bytes(8) != 4+16 {
+		t.Fatalf("Bytes(8) = %d, want 20", d.Bytes(8))
+	}
+}
+
+// Property: applying the diff of (twin→cur) onto a copy of twin
+// reconstructs cur exactly.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nmut uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, 256)
+		rng.Read(twin)
+		cur := append([]byte(nil), twin...)
+		for i := 0; i < int(nmut); i++ {
+			cur[rng.Intn(len(cur))] = byte(rng.Int())
+		}
+		home := append([]byte(nil), twin...)
+		ComputeDiff(twin, cur).Apply(home)
+		return bytes.Equal(home, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two writers mutating disjoint halves both land when their
+// diffs merge into the home copy, in either order.
+func TestDiffDisjointMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, 128)
+		rng.Read(base)
+		a := append([]byte(nil), base...)
+		b := append([]byte(nil), base...)
+		for i := 0; i < 10; i++ {
+			a[rng.Intn(64)] = byte(rng.Int())    // writer A: first half
+			b[64+rng.Intn(64)] = byte(rng.Int()) // writer B: second half
+		}
+		da := ComputeDiff(base, a)
+		db := ComputeDiff(base, b)
+		h1 := append([]byte(nil), base...)
+		da.Apply(h1)
+		db.Apply(h1)
+		h2 := append([]byte(nil), base...)
+		db.Apply(h2)
+		da.Apply(h2)
+		if !bytes.Equal(h1, h2) {
+			return false
+		}
+		return bytes.Equal(h1[:64], a[:64]) && bytes.Equal(h1[64:], b[64:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ComputeDiff(make([]byte, 8), make([]byte, 16))
+}
+
+func TestDUQOrderAndDedup(t *testing.T) {
+	d := newDUQ()
+	d.add(3)
+	d.add(1)
+	d.add(3) // dup
+	d.add(2)
+	if d.len() != 3 {
+		t.Fatalf("len = %d, want 3", d.len())
+	}
+	var got []int
+	for {
+		p, ok := d.pop()
+		if !ok {
+			break
+		}
+		got = append(got, int(p))
+	}
+	want := []int{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDUQRemoveSkipsDeadHead(t *testing.T) {
+	d := newDUQ()
+	d.add(1)
+	d.add(2)
+	d.remove(1)
+	p, ok := d.pop()
+	if !ok || p != 2 {
+		t.Fatalf("pop = (%d,%v), want (2,true)", p, ok)
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestDUQReAddAfterRemove(t *testing.T) {
+	d := newDUQ()
+	d.add(5)
+	d.remove(5)
+	d.add(5)
+	p, ok := d.pop()
+	if !ok || p != 5 {
+		t.Fatalf("pop = (%d,%v), want (5,true)", p, ok)
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+	"mgs/internal/vm"
+)
+
+// Lazy release consistency (extension).
+//
+// The paper's §6 contrasts MGS's eager protocol — every release
+// invalidates every copy before completing — with the lazy release
+// consistency of systems like TreadMarks, which delay coherence to
+// acquire time. This file implements that other side of the comparison
+// behind Costs.LazyRelease:
+//
+//   - A release sends only the releasing SSMP's own diff to the home,
+//     which merges it and advances the page's version. No invalidation
+//     round runs; other SSMPs' copies go stale in place. The releaser's
+//     copy demotes to a read copy (a later write upgrades and re-twins).
+//
+//   - An acquire — a lock grant or a barrier exit — validates the
+//     acquiring SSMP's copies against the home versions. A stale dirty
+//     copy flushes its diff home first (preserving its unreleased
+//     writes), then every stale copy is torn down so the next touch
+//     refetches the merged image.
+//
+// Version comparison stands in for TreadMarks' vector-timestamped write
+// notices: real LRC piggybacks "these pages changed" intervals on the
+// lock token, and the token's transfer already orders the notice ahead
+// of the acquirer's next access. The simulator reads the version
+// directly and charges only the per-stale-page processing, which
+// idealizes the notice transport (its payload rides the existing token
+// and barrier-release messages) but preserves what the experiment
+// measures: where the coherence work moves, and how much of it the
+// laziness avoids.
+//
+// Data-race-free programs compute identical results under both
+// protocols (the conformance test in internal/exp enforces this
+// bit-for-bit); racy reads may observe older values than eager MGS
+// would show, which release consistency permits.
+
+// releaseLazy drains processor p's delayed update queue under lazy
+// release consistency: one diff-carrying REL per dirty page, no
+// invalidation round. Called by ReleaseAll.
+func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
+	c := &s.cfg.Costs
+	for {
+		v, ok := d.pop()
+		if !ok {
+			return
+		}
+		cp := ss.pages[v]
+		s.lockProc(cp, p, stats.MGS)
+		if cp.state != PWrite {
+			// Already flushed — by an acquire-time sync or by another
+			// local processor's release of the same page. If that flush
+			// is still in flight the release must wait for its merge to
+			// reach the home (the lazy counterpart of eager RELWAIT):
+			// completing early would hand a lock over before the
+			// captured data is visible to the next acquirer.
+			if cp.relInFlight > 0 {
+				s.trace("t=%d page=%d LRELWAIT proc %d inflight=%d", p.Clock(), v, p.ID, cp.relInFlight)
+				s.st.Count("lrel.wait", 1)
+				cp.relWaiters = append(cp.relWaiters, p)
+				s.parkCharge(p, stats.MGS)
+			} else {
+				s.trace("t=%d page=%d LRELSKIP proc %d state=%v", p.Clock(), v, p.ID, cp.state)
+			}
+			s.unlock(cp, p.Clock())
+			continue
+		}
+		sp := s.server(v)
+		isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
+		var diff Diff
+		bytes := c.CtrlBytes
+		if isHome {
+			// In-place home writes: nothing travels, but the version must
+			// advance and later local writes must fault back into a
+			// delayed update queue.
+			s.shootLocal(ss, cp, p)
+			s.st.Count("lrel.home", 1)
+		} else {
+			s.spend(p, stats.MGS, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
+			diff = ComputeDiff(cp.twin, cp.frame.Data)
+			bytes += diff.Bytes(c.DiffHdrByte)
+			// Demote to a read copy: reads keep hitting the local frame,
+			// the next write upgrades and re-twins.
+			cp.twin = nil
+			cp.state = PRead
+			s.shootLocal(ss, cp, p)
+			s.st.Count("lrel", 1)
+		}
+		fetchVer, fetchGen := cp.version, cp.gen
+		s.trace("t=%d page=%d LREL proc %d home=%v diff=%d ver=%d", p.Clock(), v, p.ID, isHome, len(diff), sp.version)
+		s.spend(p, stats.MGS, s.net.SendCost())
+		cp.relInFlight++
+		cpRef, spRef, dRef := cp, sp, diff
+		s.net.Send(p.ID, sp.homeProc, p.Clock(), bytes, c.RelWork, func(at sim.Time) {
+			s.mergeLazy(spRef, dRef, at, func(newVer int64, at2 sim.Time) {
+				s.net.Send(spRef.homeProc, p.ID, at2, c.CtrlBytes, 0, func(at3 sim.Time) {
+					if cpRef.gen == fetchGen && newVer == fetchVer+1 {
+						// Same copy incarnation, and only our own merge
+						// happened since it was fetched or last validated:
+						// the copy equals the merged home image, keep it
+						// fresh. (A torn-down-and-refetched copy — gen
+						// moved — may hold a jitter-reordered pre-merge
+						// image and must stay stale.)
+						cpRef.version = newVer
+					}
+					s.lazyRelDone(cpRef, at3)
+					p.Wake(at3)
+				})
+			})
+		})
+		s.unlock(cp, p.Clock())
+		s.parkCharge(p, stats.MGS) // woken by the home's acknowledgement
+	}
+}
+
+// mergeLazy applies a diff (possibly empty) to the home frame, advances
+// the version, and hands the post-merge version to done.
+func (s *System) mergeLazy(sp *serverPage, d Diff, at sim.Time, done func(newVer int64, at sim.Time)) {
+	c := &s.cfg.Costs
+	if len(d) > 0 {
+		at = s.net.Extend(sp.homeProc, at, c.MergeWork+sim.Time(d.Bytes(0))*c.ApplyPerByte)
+		d.Apply(sp.frame.Data)
+		s.st.Count("merge.diff", 1)
+	}
+	sp.homeDirty = false
+	sp.version++
+	done(sp.version, at)
+}
+
+// lazyRelDone retires one in-flight REL of cp's data and wakes the
+// releases that were waiting on it.
+func (s *System) lazyRelDone(cp *clientPage, at sim.Time) {
+	cp.relInFlight--
+	if cp.relInFlight > 0 {
+		return
+	}
+	w := cp.relWaiters
+	cp.relWaiters = nil
+	for _, q := range w {
+		q.Wake(at)
+	}
+}
+
+// shootLocal drops every local TLB mapping of cp's page, charging the
+// per-processor shootdown work to p (local inter-processor interrupts).
+func (s *System) shootLocal(ss *ssmpState, cp *clientPage, p *sim.Proc) {
+	n := 0
+	for t := cp.tlbDir; t != 0; t &= t - 1 {
+		q := s.ssmpBase(cp.ssmp) + bits.TrailingZeros64(t)
+		s.tlbs[q].Invalidate(cp.page)
+		n++
+	}
+	cp.tlbDir = 0
+	if n > 0 {
+		s.spend(p, stats.MGS, sim.Time(n)*s.cfg.Costs.PinvWork)
+	}
+}
+
+// AcquireSync brings the acquiring processor's SSMP up to date with the
+// home versions (lazy release consistency; a no-op otherwise). msync
+// calls it at every lock grant and barrier exit. Stale dirty copies
+// flush their diff home first; every stale copy is then torn down so
+// the next touch refetches the merged image.
+func (s *System) AcquireSync(p *sim.Proc) {
+	if !s.cfg.Costs.LazyRelease || s.cfg.Disabled {
+		return
+	}
+	c := &s.cfg.Costs
+	ss := s.ssmps[s.ssmpOf(p.ID)]
+	// Deterministic scan order: map iteration must not leak into timing.
+	var pages []vm.Page
+	for v, cp := range ss.pages {
+		switch cp.state {
+		case PBusy:
+			// A fetch in flight can carry a pre-merge image: serialize
+			// behind it (its fault holds the page-table lock until the
+			// data lands) and re-check the served version.
+			pages = append(pages, v)
+		case PRead, PWrite:
+			sp, ok := s.servers[v]
+			if !ok || cp.ssmp == s.ssmpOf(sp.homeProc) || cp.version >= sp.version {
+				continue // home copies live in the home frame; fresh copies stay
+			}
+			pages = append(pages, v)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, v := range pages {
+		cp := ss.pages[v]
+		sp := s.server(v)
+		if cp.ssmp == s.ssmpOf(sp.homeProc) {
+			continue
+		}
+		s.lockProc(cp, p, stats.MGS)
+		// Re-check under the lock: a queued handler may have moved us.
+		if (cp.state != PRead && cp.state != PWrite) || cp.version >= sp.version {
+			s.unlock(cp, p.Clock())
+			continue
+		}
+		s.st.Count("acq.stale", 1)
+		if cp.state == PWrite {
+			// Flush the copy's unreleased writes before dropping it. The
+			// page-table lock is held across the merge so a concurrent
+			// local fault refetches only the post-merge image (within-
+			// SSMP ordering survives the teardown).
+			s.st.Count("acq.flush", 1)
+			s.spend(p, stats.MGS, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
+			diff := ComputeDiff(cp.twin, cp.frame.Data)
+			s.shootLocal(ss, cp, p)
+			s.teardown(ss, cp, false)
+			s.trace("t=%d page=%d ACQFLUSH proc %d diff=%d", p.Clock(), v, p.ID, len(diff))
+			s.spend(p, stats.MGS, s.net.SendCost())
+			cp.relInFlight++
+			spRef, cpRef := sp, cp
+			s.net.Send(p.ID, sp.homeProc, p.Clock(),
+				c.CtrlBytes+diff.Bytes(c.DiffHdrByte), c.RelWork, func(at sim.Time) {
+					s.mergeLazy(spRef, diff, at, func(_ int64, at2 sim.Time) {
+						s.net.Send(spRef.homeProc, p.ID, at2, c.CtrlBytes, 0,
+							func(at3 sim.Time) {
+								s.lazyRelDone(cpRef, at3)
+								p.Wake(at3)
+							})
+					})
+				})
+			s.parkCharge(p, stats.MGS)
+			s.unlock(cp, p.Clock())
+			continue
+		}
+		// Clean stale copy: the write notice alone kills it, no
+		// communication needed (TreadMarks' acquire-side invalidation).
+		s.st.Count("acq.inval", 1)
+		s.trace("t=%d page=%d ACQINVAL proc %d ver=%d<%d", p.Clock(), v, p.ID, cp.version, sp.version)
+		s.shootLocal(ss, cp, p)
+		s.teardown(ss, cp, false)
+		s.unlock(cp, p.Clock())
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"mgs/internal/sim"
+)
+
+// TestReleaseAfterCaptureStartsFreshRound is the regression test for
+// the arc-22 fold-in hazard: a single-writer SSMP is captured early in
+// a release round and retains its copy; a processor there immediately
+// refills locally, writes, and releases while the round is still
+// collecting other replies. That release must not fold into the round
+// (whose capture predates the write) — it must run as a fresh round, or
+// the write sits unflushed while readers consume stale home data.
+func TestReleaseAfterCaptureStartsFreshRound(t *testing.T) {
+	// SSMP 0 = home, SSMP 1 = writer (W), SSMP 2 = reader (R). A large
+	// LAN delay widens the round's window so the re-dirty fits inside.
+	tm := buildTest(6, 2, 10_000, nil)
+	va := tm.sys.Space().AllocPages(1024) // page 1: home proc 1, SSMP 0
+	var w3got uint64
+
+	tm.bodies[2] = func(p *sim.Proc) { // W, first writer
+		store64(tm.sys, p, va, 1)
+		tm.sys.ReleaseAll(p) // 1W round: W retains its copy
+		p.Sleep(200_000)
+		store64(tm.sys, p, va, 2) // local refill (retained copy)
+		tm.sys.ReleaseAll(p)      // round 2: 1WINV -> W first, INV -> R after
+	}
+	tm.bodies[3] = func(p *sim.Proc) { // W's second processor
+		// Wake inside round 2, after W's capture (~+25k of the REL at
+		// ~210k) but before R's reply (~+45k).
+		p.Sleep(240_000)
+		store64(tm.sys, p, va+8, 3)
+		tm.sys.ReleaseAll(p) // must NOT fold into round 2
+		w3got = tm.sys.BackdoorLoad64(va + 8)
+	}
+	tm.bodies[4] = func(p *sim.Proc) { // R: read copy so round 2 has a slow leg
+		p.Sleep(100_000)
+		load64(tm.sys, p, va)
+	}
+	tm.run(t)
+
+	if got := tm.sys.BackdoorLoad64(va); got != 2 {
+		t.Errorf("home word 0 = %d, want 2", got)
+	}
+	if w3got != 3 {
+		t.Errorf("home word 1 after proc 3's release = %d, want 3 (release must flush)", w3got)
+	}
+	t.Logf("rel.requeued = %d", tm.st.Counter("rel.requeued"))
+}

@@ -1,0 +1,668 @@
+package core
+
+import (
+	"math/bits"
+
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+	"mgs/internal/vm"
+)
+
+// onRequest is the Server's RREQ/WREQ handler (arcs 17–19, 22), running
+// on the page's home processor.
+func (s *System) onRequest(sp *serverPage, cp *clientPage, p *sim.Proc, write bool, at sim.Time) {
+	if sp.state == sRel {
+		// Arc 22: queue behind the release in progress.
+		sp.pendReq = append(sp.pendReq, pendingReq{proc: p.ID, write: write})
+		s.st.Count("req.pended", 1)
+		s.trace("t=? page=%d REQ from proc %d write=%v PENDED", sp.page, p.ID, write)
+		return
+	}
+	s.serveData(sp, cp, p, write, at)
+}
+
+// serveData registers the requesting SSMP in the directory and ships the
+// page (RDAT/WDAT). The home SSMP's own requests map the home frame
+// directly, with no data transfer.
+func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool, at sim.Time) {
+	c := &s.cfg.Costs
+	r := cp.ssmp
+	homeSSMP := s.ssmpOf(sp.homeProc)
+	bytes := c.CtrlBytes
+	if r != homeSSMP {
+		if r == sp.lastReq {
+			sp.streak++
+		} else {
+			sp.lastReq = r
+			sp.streak = 1
+		}
+		// The home SSMP itself is never registered in the directories:
+		// its "copy" is the home frame, kept consistent in place. Only
+		// remote copies need invalidating at release.
+		if write {
+			sp.writeDir |= bit(r)
+			sp.state = sWrite
+			s.st.Count("wdat", 1)
+		} else {
+			sp.readDir |= bit(r)
+			s.st.Count("rdat", 1)
+		}
+		bytes += s.cfg.PageSize
+		if write {
+			// Twins are made at request time (§3.1.1): the write grant
+			// carries the twin image too.
+			bytes += s.cfg.PageSize
+		}
+		// DMA requires global coherence: clean the home SSMP's copy
+		// first if its processors have it cached (paper §4.2.4), and
+		// shoot down the home SSMP's mappings so its processors' next
+		// writes fault and re-enter their delayed update queues — from
+		// now on there is a remote copy to keep consistent.
+		if hcp, ok := s.ssmps[homeSSMP].pages[sp.page]; ok && hcp.frame != nil && hcp.dir != nil {
+			s.st.Count("clean.serve", 1)
+			at = s.net.Extend(sp.homeProc, at, s.ssmps[homeSSMP].domain.CleanPage(hcp.frame, hcp.dir))
+			if hcp.state == PWrite && hcp.tlbDir != 0 {
+				n := 0
+				for t := hcp.tlbDir; t != 0; t &= t - 1 {
+					q := s.ssmpBase(homeSSMP) + bits.TrailingZeros64(t)
+					s.tlbs[q].Invalidate(sp.page)
+					n++
+				}
+				hcp.tlbDir = 0
+				s.st.Count("home.shootdown", int64(n))
+				at = s.net.Extend(sp.homeProc, at, sim.Time(n)*c.PinvWork)
+			}
+		}
+	} else {
+		s.st.Count("rdat.home", 1)
+	}
+	s.trace("t=%d page=%d SERVE to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", at, sp.page, p.ID, r, write, sp.readDir, sp.writeDir, sp.homeProc)
+	// The copy reflects the home version as of SERVE time: a merge that
+	// lands while the data is on the wire must leave the copy stale.
+	servedVer := sp.version
+	s.net.Send(sp.homeProc, p.ID, at, bytes, 0, func(at2 sim.Time) {
+		s.onData(sp, cp, p, write, servedVer, at2)
+	})
+}
+
+// onData is the Local Client's RDAT/WDAT handler (arcs 6–7), running on
+// the faulting processor, which still holds the page-table lock.
+func (s *System) onData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool, servedVer int64, at sim.Time) {
+	c := &s.cfg.Costs
+	ss := s.ssmps[cp.ssmp]
+	isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
+	if isHome {
+		cp.frame = sp.frame
+	} else {
+		f := s.frames.Alloc()
+		f.CopyFrom(sp.frame.Data)
+		cp.frame = f
+	}
+	if cp.ownerProc < 0 {
+		// First-touch placement; permanent (paper §3.1.2).
+		cp.ownerProc = p.ID
+	}
+	cp.version = servedVer // home version at serve time (lazy mode)
+	cp.dir = s.newDir(cp)
+	ss.domain.Register(cp.frame, cp.dir)
+	at = s.net.Extend(p.ID, at, c.MapPage)
+	if write {
+		if !isHome {
+			at = s.net.Extend(p.ID, at, sim.Time(s.cfg.PageSize)*c.TwinPerByte)
+			cp.twin = cp.frame.Snapshot()
+			s.st.Count("twin", 1)
+		}
+		cp.state = PWrite
+		if isHome {
+			sp.homeDirty = true
+		}
+		ss.duqs[s.within(p.ID)].add(cp.page)
+	} else {
+		cp.state = PRead
+	}
+	at = s.net.Extend(p.ID, at, c.TLBFill)
+	cp.tlbDir = bit(s.within(p.ID))
+	priv := vm.Read
+	if write {
+		priv = vm.Write
+	}
+	s.trace("t=%d page=%d DATA at proc %d write=%v", at, cp.page, p.ID, write)
+	s.insertTLB(ss, p.ID, cp.page, priv)
+	s.unlock(cp, at)
+	p.Wake(at)
+}
+
+// ReleaseAll is the release operation (arcs 8–10): processor p drains
+// its delayed update queue, sending one REL per dirty page and waiting
+// for the RACK before the next. msync calls this at every lock release
+// and barrier arrival; it is what makes the overall model eager release
+// consistency.
+func (s *System) ReleaseAll(p *sim.Proc) {
+	if s.cfg.Disabled {
+		return
+	}
+	c := &s.cfg.Costs
+	ss := s.ssmps[s.ssmpOf(p.ID)]
+	d := ss.duqs[s.within(p.ID)]
+	if c.LazyRelease {
+		s.releaseLazy(p, ss, d)
+		return
+	}
+	for {
+		v, ok := d.pop()
+		if !ok {
+			return
+		}
+		cp := ss.pages[v]
+		s.lockProc(cp, p, stats.MGS)
+		sp := s.server(v)
+		if cp.state != PWrite {
+			// Invalidated since we dirtied it: the data went home with
+			// that invalidation. If its round is still in flight the
+			// release must still synchronize with it (other copies are
+			// not consistent until the round completes); otherwise the
+			// release is already satisfied.
+			if sp.state != sRel {
+				s.trace("t=%d page=%d RELSKIP proc %d state=%v", p.Clock(), v, p.ID, cp.state)
+				s.unlock(cp, p.Clock())
+				continue
+			}
+			s.trace("t=%d page=%d RELWAIT proc %d", p.Clock(), v, p.ID)
+		}
+		s.st.Count("rel", 1)
+		s.spend(p, stats.MGS, s.net.SendCost())
+		relProc := p.ID
+		s.net.Send(p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.RelWork,
+			func(at sim.Time) { s.onRel(sp, relProc, at) })
+		// Deviation from Table 1 (which holds the lock to the RACK):
+		// the release round sends an INV back to this SSMP, and that
+		// handler takes this same lock — holding it here would
+		// deadlock the protocol against itself.
+		s.unlock(cp, p.Clock())
+		s.parkCharge(p, stats.MGS) // woken by the RACK handler
+	}
+}
+
+// onRel is the Server's REL handler (arcs 20–22).
+func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
+	if sp.state == sRel {
+		// Arc 22 folds a concurrent REL into the round in progress,
+		// assuming the round's invalidations collect the releaser's
+		// dirty data. That holds only while the releaser's SSMP has
+		// not been captured yet: a retained single-writer copy can be
+		// re-dirtied immediately after its capture (the refill is
+		// local), and folding such a REL in would acknowledge data the
+		// round never saw. Those releases re-run as a fresh round.
+		if sp.captured&bit(s.ssmpOf(relProc)) != 0 {
+			sp.pendReRel = append(sp.pendReRel, relProc)
+			s.trace("t=%d page=%d REL from proc %d REQUEUED (ssmp already captured)", at, sp.page, relProc)
+			return
+		}
+		if s.cfg.Costs.UpdateProtocol && sp.refreshDone && s.ssmpOf(relProc) == s.ssmpOf(sp.homeProc) {
+			// The refresh image was snapshotted before this home-SSMP
+			// release's in-place writes; folding it in would RACK a
+			// release whose data the refreshes never carried.
+			sp.pendReRel = append(sp.pendReRel, relProc)
+			s.trace("t=%d page=%d REL from proc %d REQUEUED (post-image home release)", at, sp.page, relProc)
+			return
+		}
+		sp.pendRel = append(sp.pendRel, relProc)
+		s.trace("t=%d page=%d REL from proc %d PENDED", at, sp.page, relProc)
+		return
+	}
+	targets := sp.readDir | sp.writeDir
+	if targets == 0 {
+		s.trace("t=%d page=%d REL from proc %d NOTARGETS", at, sp.page, relProc)
+		s.sendRack(sp, relProc, at)
+		return
+	}
+	s.trace("t=%d page=%d REL from proc %d -> round targets=%b writeDir=%b", at, sp.page, relProc, targets, sp.writeDir)
+	sp.state = sRel
+	sp.count = bits.OnesCount64(targets)
+	sp.pendRel = append(sp.pendRel, relProc)
+	sp.keepWriter = -1
+	oneWriter := s.cfg.Costs.SingleWriter && bits.OnesCount64(sp.writeDir) == 1 && !sp.homeDirty
+	for t := targets; t != 0; t &= t - 1 {
+		r := bits.TrailingZeros64(t)
+		oneW := oneWriter && sp.writeDir == bit(r)
+		if oneW {
+			sp.keepWriter = r
+			s.st.Count("1winv", 1)
+		} else {
+			s.st.Count("inv", 1)
+		}
+		sp.invQueue = append(sp.invQueue, invTarget{ssmp: r, oneW: oneW})
+	}
+	if s.cfg.Costs.SerialInv {
+		s.dispatchInv(sp, at) // one at a time; replies pull the next
+		return
+	}
+	for len(sp.invQueue) > 0 {
+		s.dispatchInv(sp, at)
+	}
+}
+
+// dispatchInv sends the INV/1WINV for the next queued target.
+func (s *System) dispatchInv(sp *serverPage, at sim.Time) {
+	t := sp.invQueue[0]
+	sp.invQueue = sp.invQueue[1:]
+	cp := s.ssmps[t.ssmp].pages[sp.page]
+	oneW := t.oneW
+	s.net.Send(sp.homeProc, s.clientOwner(cp), at, s.cfg.Costs.CtrlBytes, 0,
+		func(at2 sim.Time) { s.onInv(sp, cp, oneW, at2) })
+}
+
+// onInv is the Remote Client's INV/1WINV handler (arcs 14–16), running
+// on the processor owning the SSMP's copy. It takes the page-table lock
+// (queuing if busy, per the paper's footnote 2), cleans the page, shoots
+// down TLB mappings, and replies ACK, DIFF, or 1WDATA.
+func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
+	s.lockHandler(cp, at, func(at sim.Time) {
+		o := s.clientOwner(cp)
+		if cp.state != PWrite && cp.state != PRead {
+			// Copy already gone; acknowledge with nothing to merge.
+			sp.captured |= bit(cp.ssmp)
+			s.replyInv(sp, o, ackReply, nil, at)
+			s.unlock(cp, at)
+			return
+		}
+		ss := s.ssmps[cp.ssmp]
+		at = s.net.Extend(o, at, ss.domain.CleanPage(cp.frame, cp.dir))
+		cp.invOneW = oneW
+		cp.invCount = bits.OnesCount64(cp.tlbDir)
+		s.trace("t=%d page=%d INVSTART ssmp %d tlbDir=%b state=%v oneW=%v", at, cp.page, cp.ssmp, cp.tlbDir, cp.state, oneW)
+		if cp.invCount == 0 {
+			s.finishInv(sp, cp, at)
+			return
+		}
+		c := &s.cfg.Costs
+		v := cp.page
+		for t := cp.tlbDir; t != 0; t &= t - 1 {
+			q := s.ssmpBase(cp.ssmp) + bits.TrailingZeros64(t)
+			s.st.Count("pinv", 1)
+			s.net.Send(o, q, at, c.CtrlBytes, c.PinvWork, func(at2 sim.Time) {
+				// PINV (arc 11): drop the TLB entry, then acknowledge.
+				// Unlike the table's arc 12, the processor's DUQ entry
+				// stays — see the note in finishInv.
+				s.tlbs[q].Invalidate(v)
+				s.net.Send(q, o, at2, c.CtrlBytes, 0, func(at3 sim.Time) {
+					// PINV_ACK (arcs 15–16).
+					cp.invCount--
+					if cp.invCount == 0 {
+						s.finishInv(sp, cp, at3)
+					}
+				})
+			})
+		}
+	})
+}
+
+// ssmpBase returns the global processor ID of SSMP r's processor 0.
+func (s *System) ssmpBase(r int) int { return r * s.cfg.ClusterSize }
+
+// clientOwner returns the processor the SSMP's Remote Client runs on:
+// the copy's first-touch owner, or (when the copy is still in flight —
+// an INV can race an RDAT/WDAT) the SSMP's first processor; the handler
+// queues on the page-table lock either way.
+func (s *System) clientOwner(cp *clientPage) int {
+	if cp.ownerProc >= 0 {
+		return cp.ownerProc
+	}
+	return s.ssmpBase(cp.ssmp)
+}
+
+// finishInv completes an invalidation at the Remote Client once all
+// PINV_ACKs are in (arc 16): it captures the page's modifications (diff
+// or whole page), tears down or retains the copy, and replies to the
+// Server. Called with the page-table lock held; releases it.
+//
+// The diff (or 1WDATA snapshot) is captured here, after the TLB
+// shootdown, rather than at INV arrival as Table 1 writes it — capturing
+// before the shootdown could lose a concurrent local write that the
+// paper's microsecond-scale window makes improbable but a simulator
+// makes routine.
+func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
+	sp.captured |= bit(cp.ssmp)
+	c := &s.cfg.Costs
+	o := s.clientOwner(cp)
+	ss := s.ssmps[cp.ssmp]
+	isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
+
+	// Deliberate deviation from Table 1's arc 12: delayed-update-queue
+	// entries are NOT removed by invalidations. A processor whose write
+	// was collected by this round still pops the page at its own
+	// release and, if the round is in flight, waits for it (RELWAIT) —
+	// otherwise its release could complete before the captured data
+	// reaches the home, and the next lock holder would read stale data.
+
+	s.trace("t=%d page=%d FINISHINV ssmp %d state=%v oneW=%v", at, cp.page, cp.ssmp, cp.state, cp.invOneW)
+	if s.cfg.Costs.UpdateProtocol {
+		// Update protocol: capture the copy's modifications but keep
+		// the copy itself; the round's refresh phase will overwrite it
+		// with the merged image. The TLB shootdown has already
+		// happened, so subsequent writes re-fault (cheap local fills)
+		// and re-enter the delayed update queues.
+		var d Diff
+		if cp.state == PWrite && !isHome {
+			at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
+			d = ComputeDiff(cp.twin, cp.frame.Data)
+			cp.twin = cp.frame.Snapshot()
+			s.st.Count("upd.diff", 1)
+		}
+		cp.tlbDir = 0
+		s.replyInv(sp, o, diffReply, d, at)
+		s.unlock(cp, at)
+		return
+	}
+
+	switch {
+	case cp.invOneW:
+		// Single-writer optimization: no diff scan is charged and the
+		// full page's bandwidth is paid (the paper's bandwidth-for-
+		// computation trade), the twin is refreshed, and the copy stays
+		// cached with state WRITE — the next local fault refills the
+		// TLB cheaply. The home applies the transfer as a diff, not a
+		// page overwrite: an upgrade's WNOTIFY can race the REL, making
+		// a "single-writer" round also carry a concurrent diff that a
+		// whole-page copy would clobber.
+		at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.TwinPerByte)
+		var d Diff
+		if !isHome {
+			d = ComputeDiff(cp.twin, cp.frame.Data)
+		}
+		cp.twin = cp.frame.Snapshot()
+		cp.tlbDir = 0
+		s.st.Count("1wdata", 1)
+		s.replyInv(sp, o, oneWReply, d, at)
+
+	case cp.state == PWrite:
+		at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
+		var d Diff
+		if isHome {
+			// The home SSMP's writes are already in the home frame —
+			// no diff travels, but they count as foreign data for the
+			// retention decision below, exactly like a merged diff.
+			sp.sawDiff = true
+		} else {
+			d = ComputeDiff(cp.twin, cp.frame.Data)
+		}
+		s.st.Count("diff", 1)
+		s.st.Count("diffbytes", int64(d.Bytes(0)))
+		s.teardown(ss, cp, isHome)
+		s.replyInv(sp, o, diffReply, d, at)
+
+	default: // PRead
+		s.st.Count("ackinv", 1)
+		s.teardown(ss, cp, isHome)
+		s.replyInv(sp, o, ackReply, nil, at)
+	}
+	s.unlock(cp, at)
+}
+
+// teardown frees the SSMP's copy of the page. The home SSMP's "copy" is
+// the home frame itself, which survives; only the mapping goes.
+func (s *System) teardown(ss *ssmpState, cp *clientPage, isHome bool) {
+	_ = isHome // the home frame itself survives in the serverPage
+	ss.domain.Unregister(cp.frame)
+	cp.frame = nil
+	cp.dir = nil
+	cp.twin = nil
+	cp.tlbDir = 0
+	cp.state = PInv
+	cp.gen++ // a refetched copy is a new incarnation (lazy versioning)
+}
+
+// invReply is the kind of an invalidation reply.
+type invReply uint8
+
+const (
+	ackReply  invReply = iota // ACK: read copy dropped
+	diffReply                 // DIFF: twin/page diff attached
+	oneWReply                 // 1WDATA: whole page's bandwidth, diff semantics
+)
+
+// replyInv sends the invalidation reply (ACK / DIFF / 1WDATA) to the
+// Server.
+func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at sim.Time) {
+	c := &s.cfg.Costs
+	bytes := c.CtrlBytes
+	switch kind {
+	case diffReply:
+		bytes += d.Bytes(c.DiffHdrByte)
+	case oneWReply:
+		if len(d) > 0 || from != sp.homeProc {
+			bytes += s.cfg.PageSize
+		}
+	}
+	s.net.Send(from, sp.homeProc, at, bytes, 0, func(at2 sim.Time) {
+		s.onInvReply(sp, kind, d, at2)
+	})
+}
+
+// onInvReply is the Server's ACK/DIFF/1WDATA handler (arcs 22–23): merge
+// incoming modifications into the home frame; when the last reply
+// arrives, finish the release round.
+func (s *System) onInvReply(sp *serverPage, kind invReply, d Diff, at sim.Time) {
+	c := &s.cfg.Costs
+	s.trace("t=%d page=%d INVREPLY kind=%d diff=%d count->%d", at, sp.page, kind, len(d), sp.count-1)
+	if len(d) > 0 {
+		// A 1WDATA transfer occupies the home for the full page; a
+		// DIFF only for its changed bytes.
+		mergeBytes := d.Bytes(0)
+		if kind == oneWReply {
+			mergeBytes = s.cfg.PageSize
+		}
+		at = s.net.Extend(sp.homeProc, at,
+			c.MergeWork+sim.Time(mergeBytes)*c.ApplyPerByte)
+		d.Apply(sp.frame.Data)
+		if kind == oneWReply {
+			s.st.Count("merge.page", 1)
+		} else {
+			s.st.Count("merge.diff", 1)
+			sp.sawDiff = true
+		}
+	}
+	sp.count--
+	if len(sp.invQueue) > 0 {
+		s.dispatchInv(sp, at)
+		return
+	}
+	if sp.count == 0 {
+		s.finishRel(sp, at)
+	}
+}
+
+// finishRel completes a release round (arc 23): reset the directories
+// (re-registering a retained single-writer copy — the printed table
+// drops it, which would strand a stale copy), RACK every queued
+// releaser, and serve queued replication requests.
+func (s *System) finishRel(sp *serverPage, at sim.Time) {
+	if s.cfg.Costs.UpdateProtocol {
+		targets := (sp.readDir | sp.writeDir) &^ bit(s.ssmpOf(sp.homeProc))
+		if !sp.refreshDone && targets != 0 {
+			sp.refreshDone = true
+			// Refresh phase: push the merged image to every copy; the
+			// round completes only when all have acknowledged, so no
+			// post-release lock grant can read a stale copy.
+			sp.refreshing = bits.OnesCount64(targets)
+			img := sp.frame.Snapshot()
+			for t := targets; t != 0; t &= t - 1 {
+				r := bits.TrailingZeros64(t)
+				s.sendRefresh(sp, r, img, at)
+			}
+			return
+		}
+		sp.refreshDone = false
+		sp.keepWriter = -1
+		sp.sawDiff = false
+		sp.homeDirty = false
+		sp.captured = 0
+		// Unlike invalidate mode, copies persist and are never
+		// re-served, so the serve-time shootdown of the home SSMP's
+		// write mappings never recurs. Re-arm it here: the next home
+		// in-place write must fault back into a delayed update queue,
+		// or the persistent remote copies would go permanently stale.
+		homeSSMP := s.ssmpOf(sp.homeProc)
+		if hcp, ok := s.ssmps[homeSSMP].pages[sp.page]; ok && hcp.state == PWrite && hcp.tlbDir != 0 {
+			n := 0
+			for t := hcp.tlbDir; t != 0; t &= t - 1 {
+				q := s.ssmpBase(homeSSMP) + bits.TrailingZeros64(t)
+				s.tlbs[q].Invalidate(sp.page)
+				n++
+			}
+			hcp.tlbDir = 0
+			s.st.Count("upd.homeshootdown", int64(n))
+			s.net.Extend(sp.homeProc, at, sim.Time(n)*s.cfg.Costs.PinvWork)
+		}
+		// Directories persist: the copies are still out there, valid.
+		if sp.writeDir != 0 {
+			sp.state = sWrite
+		} else {
+			sp.state = sRead
+		}
+		rel := sp.pendRel
+		sp.pendRel = nil
+		for _, rp := range rel {
+			s.sendRack(sp, rp, at)
+		}
+		reqs := sp.pendReq
+		sp.pendReq = nil
+		for _, rq := range reqs {
+			p := s.procs[rq.proc]
+			cp := s.ssmps[s.ssmpOf(rq.proc)].pages[sp.page]
+			s.serveData(sp, cp, p, rq.write, at)
+		}
+		rerel := sp.pendReRel
+		sp.pendReRel = nil
+		for _, rp := range rerel {
+			s.st.Count("rel.requeued", 1)
+			s.onRel(sp, rp, at)
+		}
+		return
+	}
+	if sp.keepWriter >= 0 && (sp.sawDiff || sp.homeDirty) && sp.keepWriter != s.ssmpOf(sp.homeProc) {
+		// Retention is only sound if nothing but the keeper's own data
+		// merged this round. A racing upgrade's diff or the home
+		// SSMP's in-place stores make the retained copy stale; demote
+		// it with a follow-up INV before the round completes (and thus
+		// before any RACK — so no post-release lock grant can read the
+		// stale copy).
+		s.trace("t=%d page=%d DEMOTE retained ssmp %d", at, sp.page, sp.keepWriter)
+		s.st.Count("1wdemote", 1)
+		sp.invQueue = append(sp.invQueue, invTarget{ssmp: sp.keepWriter, oneW: false})
+		sp.keepWriter = -1
+		sp.sawDiff = false
+		sp.count = 1
+		s.dispatchInv(sp, at)
+		return
+	}
+	sp.sawDiff = false
+	sp.homeDirty = false
+	s.trace("t=%d page=%d FINISHREL keep=%d pendRel=%v pendReq=%v", at, sp.page, sp.keepWriter, sp.pendRel, sp.pendReq)
+	sp.readDir = 0
+	sp.writeDir = 0
+	sp.state = sRead
+	if sp.keepWriter >= 0 {
+		sp.writeDir = bit(sp.keepWriter)
+		sp.state = sWrite
+		sp.keepWriter = -1
+	}
+	sp.captured = 0
+	if k := s.cfg.Costs.MigrateAfter; k > 0 && sp.writeDir == 0 && sp.readDir == 0 &&
+		sp.streak >= k && sp.lastReq != s.ssmpOf(sp.homeProc) && len(sp.pendReq) == 0 {
+		s.migrateHome(sp, sp.lastReq, at)
+	}
+	rel := sp.pendRel
+	sp.pendRel = nil
+	for _, rp := range rel {
+		s.sendRack(sp, rp, at)
+	}
+	reqs := sp.pendReq
+	sp.pendReq = nil
+	for _, rq := range reqs {
+		p := s.procs[rq.proc]
+		cp := s.ssmps[s.ssmpOf(rq.proc)].pages[sp.page]
+		s.serveData(sp, cp, p, rq.write, at)
+	}
+	// Releases that arrived after their SSMP's capture start over as a
+	// fresh round (the first re-REL opens it; the rest fold in safely,
+	// since every capture of the new round postdates their writes).
+	rerel := sp.pendReRel
+	sp.pendReRel = nil
+	for _, rp := range rerel {
+		s.st.Count("rel.requeued", 1)
+		s.onRel(sp, rp, at)
+	}
+}
+
+// sendRefresh pushes the merged page image to one copy (update
+// protocol); the copy replays its own post-capture writes on top and
+// acknowledges.
+func (s *System) sendRefresh(sp *serverPage, r int, img []byte, at sim.Time) {
+	cp := s.ssmps[r].pages[sp.page]
+	s.st.Count("upd.refresh", 1)
+	s.net.Send(sp.homeProc, s.clientOwner(cp), at, s.cfg.PageSize+s.cfg.Costs.CtrlBytes, 0,
+		func(at2 sim.Time) {
+			s.lockHandler(cp, at2, func(at3 sim.Time) {
+				if cp.frame != nil && (cp.state == PWrite || cp.state == PRead) {
+					c := &s.cfg.Costs
+					at3 = s.net.Extend(s.clientOwner(cp), at3,
+						c.MergeWork+sim.Time(s.cfg.PageSize)*c.ApplyPerByte)
+					if cp.state == PWrite && cp.twin != nil {
+						local := ComputeDiff(cp.twin, cp.frame.Data)
+						cp.frame.CopyFrom(img)
+						local.Apply(cp.frame.Data)
+						cp.twin = append([]byte(nil), img...)
+					} else {
+						cp.frame.CopyFrom(img)
+					}
+				}
+				s.unlock(cp, at3)
+				s.net.Send(s.clientOwner(cp), sp.homeProc, at3, s.cfg.Costs.CtrlBytes, 0,
+					func(at4 sim.Time) {
+						sp.refreshing--
+						if sp.refreshing == 0 {
+							s.finishRel(sp, at4)
+						}
+					})
+			})
+		})
+}
+
+// migrateHome moves the page's home to SSMP r (dynamic migration, an
+// extension — see Costs.MigrateAfter). Called at a quiescent point: no
+// copies outstanding, no queued requests. The old home SSMP's own
+// mapping is torn down; its processors refetch like any other client.
+func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
+	oldHome := sp.homeProc
+	oldSSMP := s.ssmpOf(oldHome)
+	newHome := s.ssmpBase(r) + int(uint64(sp.page)%uint64(s.cfg.ClusterSize))
+	if hcp, ok := s.ssmps[oldSSMP].pages[sp.page]; ok && hcp.frame != nil {
+		for t := hcp.tlbDir; t != 0; t &= t - 1 {
+			q := s.ssmpBase(oldSSMP) + bits.TrailingZeros64(t)
+			s.tlbs[q].Invalidate(sp.page)
+		}
+		s.ssmps[oldSSMP].domain.CleanPage(hcp.frame, hcp.dir)
+		s.ssmps[oldSSMP].domain.Unregister(hcp.frame)
+		hcp.tlbDir = 0
+		hcp.frame = nil
+		hcp.dir = nil
+		hcp.twin = nil
+		hcp.state = PInv
+	}
+	sp.homeProc = newHome
+	sp.streak = 0
+	s.space.Rehome(sp.page, newHome)
+	s.st.Count("migrate", 1)
+	s.trace("t=%d page=%d MIGRATE home %d -> %d", at, sp.page, oldHome, newHome)
+	// The page image travels to the new home's memory.
+	s.net.Send(oldHome, newHome, at, s.cfg.PageSize+s.cfg.Costs.CtrlBytes, 0, func(sim.Time) {})
+}
+
+// sendRack acknowledges a release to the waiting processor (arc 9–10).
+func (s *System) sendRack(sp *serverPage, relProc int, at sim.Time) {
+	s.st.Count("rack", 1)
+	s.net.Send(sp.homeProc, relProc, at, s.cfg.Costs.CtrlBytes, 0, func(at2 sim.Time) {
+		s.procs[relProc].Wake(at2)
+	})
+}

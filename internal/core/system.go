@@ -1,0 +1,349 @@
+// Package core implements the MGS multigrain shared-memory protocol —
+// the paper's primary contribution (§3, Figure 4, Tables 1–2).
+//
+// Three software engines cooperate:
+//
+//   - The Local Client runs on a faulting processor. It fills software
+//     TLBs from SSMP-local page tables (transition 1), drives upgrades
+//     from read to write privilege (transition 2), and negotiates with
+//     the Server for page replication when the SSMP has no copy
+//     (transitions 5–7). Page-table state is protected by a per-page
+//     shared-memory lock.
+//
+//   - The Remote Client runs on the processor owning an SSMP's copy of a
+//     page. It services invalidations: page cleaning (global coherence
+//     before DMA, §4.2.4), TLB shootdowns (PINV/PINV_ACK), diff
+//     computation against the twin, and the single-writer optimization.
+//
+//   - The Server runs on the page's home processor. It tracks read and
+//     write copies per SSMP (read_dir/write_dir), serves RREQ/WREQ,
+//     and performs eager release: on REL it invalidates every copy,
+//     collects ACK/DIFF/1WDATA replies, merges diffs into the home
+//     frame, and answers queued requests and releases.
+//
+// Consistency is eager release consistency with multiple writers
+// (Munin-style twin/diff). Two deliberate deviations from the published
+// transition table, both required for correctness, are marked in the
+// code: (1) the releasing processor drops the page-table lock before
+// waiting for the RACK, since the release round invalidates the
+// releaser's own SSMP and the invalidation handler takes that same
+// lock; (2) after a single-writer release the retained write copy stays
+// registered in write_dir, so a later release still invalidates it —
+// the printed table clears write_dir, which would strand a stale copy.
+//
+// Extensions beyond the paper, each behind a Costs flag and off by
+// default: update-based release rounds (Costs.UpdateProtocol), dynamic
+// home migration (Costs.MigrateAfter), and lazy release consistency
+// (Costs.LazyRelease, lazy.go).
+package core
+
+import (
+	"fmt"
+
+	"mgs/internal/cache"
+	"mgs/internal/mem"
+	"mgs/internal/msg"
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+	"mgs/internal/vm"
+)
+
+// PageState is the Local Client's page state within one SSMP.
+type PageState uint8
+
+const (
+	// PInv: the SSMP holds no copy.
+	PInv PageState = iota
+	// PRead: the SSMP holds a read-only copy.
+	PRead
+	// PWrite: the SSMP holds a read-write copy (twinned).
+	PWrite
+	// PBusy: a replication request is outstanding.
+	PBusy
+)
+
+var pageStateNames = [...]string{"INV", "READ", "WRITE", "BUSY"}
+
+func (s PageState) String() string { return pageStateNames[s] }
+
+// serverState is the Server's state for one page.
+type serverState uint8
+
+const (
+	sRead  serverState = iota // only read copies outstanding
+	sWrite                    // at least one write copy outstanding
+	sRel                      // release in progress
+)
+
+// Config sizes a System.
+type Config struct {
+	NProcs      int // total processors (P)
+	ClusterSize int // processors per SSMP (C)
+	PageSize    int // bytes
+	TLBSize     int // software TLB entries per processor
+	Costs       Costs
+	CacheParams cache.Params
+	CacheCosts  cache.Costs
+	// Disabled turns the software layer off (the paper's "null MGS
+	// calls" 32-processor runs): every page is mapped locally on first
+	// touch at plain-SVM cost and releases are no-ops. Normally set
+	// only when ClusterSize == NProcs.
+	Disabled bool
+}
+
+// clientPage is the Local/Remote Client state for one page in one SSMP.
+type clientPage struct {
+	page      vm.Page
+	ssmp      int
+	state     PageState
+	frame     *mem.Frame
+	dir       *cache.Dir
+	twin      []byte
+	tlbDir    uint64 // within-SSMP processors holding a TLB mapping
+	ownerProc int    // global proc owning this SSMP's copy (first touch); -1 until placed
+	lk        ptLock
+	version   int64 // home version this copy reflects (lazy release only)
+	gen       int64 // incarnation counter, bumped at teardown (lazy release only)
+
+	// Lazy-release bookkeeping: diff-carrying RELs of this copy's data
+	// still in flight, and releases waiting for them to reach the home
+	// (the lazy counterpart of eager's RELWAIT).
+	relInFlight int
+	relWaiters  []*sim.Proc
+
+	invCount int  // outstanding PINV_ACKs
+	invOneW  bool // current invalidation is a 1WINV
+}
+
+// invTarget is one SSMP to invalidate in a release round.
+type invTarget struct {
+	ssmp int
+	oneW bool
+}
+
+// pendingReq is a replication request queued behind a release.
+type pendingReq struct {
+	proc  int
+	write bool
+}
+
+// serverPage is the Server state for one page at its home.
+type serverPage struct {
+	page     vm.Page
+	homeProc int
+	frame    *mem.Frame // the physical home copy
+	state    serverState
+	readDir  uint64 // SSMPs with read copies
+	writeDir uint64 // SSMPs with write copies
+
+	version     int64       // merges applied to the home frame (lazy release only)
+	lastReq     int         // last remote SSMP served (migration tracking)
+	streak      int         // consecutive serves to lastReq
+	count       int         // outstanding invalidation replies
+	refreshing  int         // outstanding refresh ACKs (update protocol)
+	refreshDone bool        // this round's refresh phase already ran
+	invQueue    []invTarget // targets not yet invalidated (serial mode)
+	keepWriter  int         // SSMP retaining its copy (single-writer opt), or -1
+	sawDiff     bool        // foreign data merged during this round
+	homeDirty   bool        // home-SSMP in-place writes since the last round
+	captured    uint64      // SSMPs whose modifications this round has captured
+	pendReRel   []int       // releases that must run as a fresh round
+	pendReq     []pendingReq
+	pendRel     []int // processors awaiting RACK
+}
+
+// System is one DSSMP's multigrain shared memory.
+type System struct {
+	eng   *sim.Engine
+	cfg   Config
+	net   *msg.Network
+	space *vm.Space
+	st    *stats.Collector
+	procs []*sim.Proc
+
+	frames  *mem.FrameAllocator
+	tlbs    []*vm.TLB
+	ssmps   []*ssmpState
+	servers map[vm.Page]*serverPage
+
+	// TraceFn, if set, receives a line per protocol event (tests/tools).
+	TraceFn func(format string, args ...any)
+	// DebugChecks enables extra invariant checking on hot paths (tests).
+	DebugChecks bool
+}
+
+// trace logs a protocol event when tracing is enabled.
+func (s *System) trace(format string, args ...any) {
+	if s.TraceFn != nil {
+		s.TraceFn(format, args...)
+	}
+}
+
+// ssmpState is the per-SSMP software state.
+type ssmpState struct {
+	id     int
+	domain *cache.Domain
+	pages  map[vm.Page]*clientPage
+	duqs   []*duq // one per local processor
+}
+
+// New wires a System over an engine, network, address space, stats
+// collector, and the machine's processors (procs[i].ID must be i).
+func New(eng *sim.Engine, net *msg.Network, space *vm.Space, st *stats.Collector, procs []*sim.Proc, cfg Config) *System {
+	if cfg.NProcs%cfg.ClusterSize != 0 {
+		panic(fmt.Sprintf("core: P=%d not divisible by C=%d", cfg.NProcs, cfg.ClusterSize))
+	}
+	s := &System{
+		eng: eng, cfg: cfg, net: net, space: space, st: st, procs: procs,
+		frames:  mem.NewFrameAllocator(cfg.PageSize),
+		tlbs:    make([]*vm.TLB, cfg.NProcs),
+		servers: make(map[vm.Page]*serverPage),
+	}
+	nssmp := cfg.NProcs / cfg.ClusterSize
+	for i := 0; i < cfg.NProcs; i++ {
+		s.tlbs[i] = vm.NewTLB(cfg.TLBSize)
+	}
+	for i := 0; i < nssmp; i++ {
+		ss := &ssmpState{
+			id:     i,
+			domain: cache.NewDomain(cfg.ClusterSize, cfg.PageSize, cfg.CacheParams, cfg.CacheCosts),
+			pages:  make(map[vm.Page]*clientPage),
+			duqs:   make([]*duq, cfg.ClusterSize),
+		}
+		for j := range ss.duqs {
+			ss.duqs[j] = newDUQ()
+		}
+		s.ssmps = append(s.ssmps, ss)
+	}
+	return s
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Space returns the virtual address space.
+func (s *System) Space() *vm.Space { return s.space }
+
+func (s *System) ssmpOf(proc int) int { return proc / s.cfg.ClusterSize }
+func (s *System) within(proc int) int { return proc % s.cfg.ClusterSize }
+
+func bit(i int) uint64 { return 1 << uint(i) }
+
+// spend advances p's clock by cycles, attributing them to cat. Handler
+// preemption debt folded in by Advance is not re-attributed here: it
+// was already charged (as MGS) when the handler ran.
+func (s *System) spend(p *sim.Proc, cat stats.Category, cycles sim.Time) {
+	p.Advance(cycles)
+	s.st.Charge(p.ID, cat, cycles)
+}
+
+// parkCharge parks p and attributes the wait to cat.
+func (s *System) parkCharge(p *sim.Proc, cat stats.Category) {
+	c0 := p.Clock()
+	p.Park()
+	if s.DebugChecks && p.Clock()-c0 > 100_000 {
+		s.trace("t=%d LONGPARK proc=%d cat=%v wait=%d", p.Clock(), p.ID, cat, p.Clock()-c0)
+	}
+	s.st.Charge(p.ID, cat, p.Clock()-c0)
+}
+
+// ensurePage returns (creating if needed) the SSMP's record for page v.
+func (ss *ssmpState) ensurePage(v vm.Page) *clientPage {
+	cp, ok := ss.pages[v]
+	if !ok {
+		cp = &clientPage{page: v, ssmp: ss.id, state: PInv, ownerProc: -1}
+		ss.pages[v] = cp
+	}
+	return cp
+}
+
+// server returns (creating if needed) the Server record for page v. The
+// home frame is created zeroed.
+func (s *System) server(v vm.Page) *serverPage {
+	sp, ok := s.servers[v]
+	if !ok {
+		sp = &serverPage{
+			page: v, homeProc: s.space.HomeProc(v),
+			frame: s.frames.Alloc(), state: sRead, keepWriter: -1,
+		}
+		s.servers[v] = sp
+	}
+	return sp
+}
+
+// BackdoorFrame returns the home frame of the page containing va,
+// without simulated cost. It is the setup/verification hook: apps
+// initialize their data sets and check results through it.
+func (s *System) BackdoorFrame(va vm.Addr) (*mem.Frame, int) {
+	return s.server(s.space.PageOf(va)).frame, s.space.Offset(va)
+}
+
+// BackdoorStore64 writes v at va with no simulated cost.
+func (s *System) BackdoorStore64(va vm.Addr, v uint64) {
+	f, off := s.BackdoorFrame(va)
+	f.Store64(off, v)
+}
+
+// BackdoorLoad64 reads va with no simulated cost. It reads the home
+// copy, which is current after any release point.
+func (s *System) BackdoorLoad64(va vm.Addr) uint64 {
+	f, off := s.BackdoorFrame(va)
+	return f.Load64(off)
+}
+
+// Access performs one simulated shared-memory access by processor p to
+// virtual address va. It charges software translation, faults and runs
+// the MGS protocol as needed (possibly blocking p), charges the
+// hardware coherence cost, and returns the frame and byte offset the
+// caller should read or write. pointer selects the more expensive
+// pointer-dereference translation sequence.
+func (s *System) Access(p *sim.Proc, va vm.Addr, write, pointer bool) (*mem.Frame, int) {
+	page := s.space.PageOf(va)
+	off := s.space.Offset(va)
+	tc := s.cfg.Costs.TransArray
+	if pointer {
+		tc = s.cfg.Costs.TransPtr
+	}
+	ss := s.ssmps[s.ssmpOf(p.ID)]
+	tlb := s.tlbs[p.ID]
+	for {
+		s.spend(p, stats.User, tc)
+		if priv, ok := tlb.Lookup(page); ok && (priv == vm.Write || !write) {
+			cp := ss.pages[page]
+			cost, _ := ss.domain.Access(s.within(p.ID), cp.frame, cp.dir, off, write)
+			s.spend(p, stats.User, cost)
+			return cp.frame, off
+		}
+		s.fault(p, ss, page, write)
+	}
+}
+
+// Probe reports the Local Client page state of page v in ssmp (tests and
+// tools).
+func (s *System) Probe(ssmp int, v vm.Page) PageState {
+	cp, ok := s.ssmps[ssmp].pages[v]
+	if !ok {
+		return PInv
+	}
+	return cp.state
+}
+
+// TLB returns processor p's TLB (tests and tools).
+func (s *System) TLB(p int) *vm.TLB { return s.tlbs[p] }
+
+// CacheCounters aggregates the hardware access-class counters across
+// all SSMP coherence domains.
+func (s *System) CacheCounters() cache.Counters {
+	var out cache.Counters
+	for _, ss := range s.ssmps {
+		for k, v := range ss.domain.Counters.ByKind {
+			out.ByKind[k] += v
+		}
+	}
+	return out
+}
+
+// DUQLen reports the delayed-update-queue length of processor p.
+func (s *System) DUQLen(p int) int {
+	return s.ssmps[s.ssmpOf(p)].duqs[s.within(p)].len()
+}

@@ -1,0 +1,302 @@
+// Package exp defines the paper's experiments: every table and figure
+// of the evaluation section (§5) is regenerable from here, plus the
+// ablations DESIGN.md calls out. cmd/mgs-sweep, cmd/mgs-micro, and the
+// repository benchmarks are thin wrappers over this package.
+package exp
+
+import (
+	"fmt"
+
+	"mgs/internal/apps"
+	"mgs/internal/framework"
+	"mgs/internal/harness"
+	"mgs/internal/sim"
+)
+
+// AppNames lists the application suite in the paper's order.
+var AppNames = []string{"jacobi", "matmul", "tsp", "water", "barnes-hut"}
+
+// NewApp returns a fresh paper-default instance of the named app. The
+// problem sizes are the scaled defaults recorded in EXPERIMENTS.md.
+func NewApp(name string) harness.App {
+	switch name {
+	case "jacobi":
+		return &apps.Jacobi{N: 128, Iters: 10}
+	case "matmul":
+		return &apps.MatMul{N: 128}
+	case "tsp":
+		return &apps.TSP{NCities: 10, Depth: 4}
+	case "water":
+		return &apps.Water{N: 64, Iters: 2}
+	case "barnes-hut", "barnes":
+		return &apps.BarnesHut{NBodies: 96, Iters: 2, Theta: 0.6}
+	case "water-kernel":
+		return &apps.WaterKernel{N: 256, Tiled: false}
+	case "water-kernel-tiled":
+		return &apps.WaterKernel{N: 256, Tiled: true}
+	case "lu":
+		return &apps.LU{N: 128, B: 16}
+	}
+	panic(fmt.Sprintf("exp: unknown app %q", name))
+}
+
+// SmallApp returns a reduced instance for quick runs and tests.
+func SmallApp(name string) harness.App {
+	switch name {
+	case "jacobi":
+		return &apps.Jacobi{N: 48, Iters: 3}
+	case "matmul":
+		return &apps.MatMul{N: 24}
+	case "tsp":
+		return &apps.TSP{NCities: 7, Depth: 3}
+	case "water":
+		return &apps.Water{N: 24, Iters: 1}
+	case "barnes-hut", "barnes":
+		return &apps.BarnesHut{NBodies: 32, Iters: 1, Theta: 0.6}
+	case "water-kernel":
+		return &apps.WaterKernel{N: 128, Tiled: false}
+	case "water-kernel-tiled":
+		return &apps.WaterKernel{N: 128, Tiled: true}
+	case "lu":
+		return &apps.LU{N: 48, B: 8}
+	}
+	panic(fmt.Sprintf("exp: unknown app %q", name))
+}
+
+// Config returns the paper's experiment configuration: 1K-byte pages,
+// 1000-cycle inter-SSMP delay, null MGS calls at C = P (§5.2.1).
+func Config(p, c int) harness.Config { return harness.DefaultConfig(p, c) }
+
+// Table3 measures the micro costs (Table 3).
+func Table3() harness.Micro { return harness.MeasureMicro() }
+
+// Table4Row is one line of Table 4.
+type Table4Row struct {
+	App     string
+	Seq     sim.Time // sequential cycles (P=1, with SVM overhead)
+	Par     sim.Time // cycles on P processors, tightly coupled (C=P)
+	Speedup float64
+}
+
+// Table4 reports sequential runtime and tightly-coupled speedup per
+// application (Table 4). mk selects the instance size (NewApp or
+// SmallApp).
+func Table4(p int, mk func(string) harness.App) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, name := range AppNames {
+		seq, err := harness.RunApp(mk(name), Config(1, 1))
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s seq: %w", name, err)
+		}
+		par, err := harness.RunApp(mk(name), Config(p, p))
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s par: %w", name, err)
+		}
+		rows = append(rows, Table4Row{
+			App: name, Seq: seq.Cycles, Par: par.Cycles,
+			Speedup: float64(seq.Cycles) / float64(par.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// FigureSweep reproduces one of Figures 6–10: the named app across all
+// power-of-two cluster sizes at fixed P, returning the per-point
+// results and the §2.4 framework metrics.
+func FigureSweep(name string, p int, mk func(string) harness.App) ([]harness.SweepPoint, framework.Metrics, error) {
+	points, err := harness.Sweep(func() harness.App { return mk(name) },
+		p, harness.PowersOfTwo(p), func(c int) harness.Config { return Config(p, c) })
+	if err != nil {
+		return nil, framework.Metrics{}, err
+	}
+	return points, metricsOf(points), nil
+}
+
+func metricsOf(points []harness.SweepPoint) framework.Metrics {
+	var fp []framework.Point
+	for _, pt := range points {
+		fp = append(fp, framework.Point{C: pt.C, Time: float64(pt.Res.Cycles)})
+	}
+	return framework.Analyze(fp)
+}
+
+// FrameworkPoints converts sweep points for framework analysis and
+// printing.
+func FrameworkPoints(points []harness.SweepPoint) []framework.Point {
+	var fp []framework.Point
+	for _, pt := range points {
+		fp = append(fp, framework.Point{C: pt.C, Time: float64(pt.Res.Cycles)})
+	}
+	return fp
+}
+
+// HitPoint is one Figure 11 sample.
+type HitPoint struct {
+	C     int
+	Ratio float64
+}
+
+// LockHitSweep reproduces Figure 11: MGS lock hit ratio versus cluster
+// size for the lock-using applications. The C = P point is excluded (no
+// MGS locks run there), as in the figure.
+func LockHitSweep(names []string, p int, mk func(string) harness.App) (map[string][]HitPoint, error) {
+	out := make(map[string][]HitPoint)
+	for _, name := range names {
+		for _, c := range harness.PowersOfTwo(p / 2) {
+			res, err := harness.RunApp(mk(name), Config(p, c))
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s C=%d: %w", name, c, err)
+			}
+			ratio := 0.0
+			if res.LockTotal > 0 {
+				ratio = float64(res.LockHits) / float64(res.LockTotal)
+			}
+			out[name] = append(out[name], HitPoint{C: c, Ratio: ratio})
+		}
+	}
+	return out, nil
+}
+
+// Fig12 reproduces Figure 12: the Water force kernel without and with
+// the tiling transformation, swept across cluster sizes.
+func Fig12(p, n int) (plain, tiled []harness.SweepPoint, err error) {
+	plain, err = harness.Sweep(func() harness.App { return &apps.WaterKernel{N: n, Tiled: false} },
+		p, harness.PowersOfTwo(p), func(c int) harness.Config { return Config(p, c) })
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig12 plain: %w", err)
+	}
+	tiled, err = harness.Sweep(func() harness.App { return &apps.WaterKernel{N: n, Tiled: true} },
+		p, harness.PowersOfTwo(p), func(c int) harness.Config { return Config(p, c) })
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig12 tiled: %w", err)
+	}
+	return plain, tiled, nil
+}
+
+// AblationSingleWriter sweeps the named app with the single-writer
+// optimization on and off (§3.1.1).
+func AblationSingleWriter(name string, p int, mk func(string) harness.App) (on, off []harness.SweepPoint, err error) {
+	cfgFor := func(enabled bool) func(c int) harness.Config {
+		return func(c int) harness.Config {
+			cfg := Config(p, c)
+			cfg.Protocol.SingleWriter = enabled
+			return cfg
+		}
+	}
+	cs := harness.PowersOfTwo(p / 2) // software region only
+	on, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(true))
+	if err != nil {
+		return nil, nil, err
+	}
+	off, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(false))
+	return on, off, err
+}
+
+// AblationSerialInv sweeps with serial versus parallel release-round
+// invalidations.
+func AblationSerialInv(name string, p int, mk func(string) harness.App) (serial, parallel []harness.SweepPoint, err error) {
+	cfgFor := func(enabled bool) func(c int) harness.Config {
+		return func(c int) harness.Config {
+			cfg := Config(p, c)
+			cfg.Protocol.SerialInv = enabled
+			return cfg
+		}
+	}
+	cs := harness.PowersOfTwo(p / 2)
+	serial, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(true))
+	if err != nil {
+		return nil, nil, err
+	}
+	parallel, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(false))
+	return serial, parallel, err
+}
+
+// PageSizePoint is one page-size ablation sample.
+type PageSizePoint struct {
+	PageSize int
+	Cycles   sim.Time
+}
+
+// AblationPageSize runs the named app at one cluster size across page
+// sizes (§2.2's grain trade-off: larger pages amortize protocol
+// overhead but aggravate false sharing).
+func AblationPageSize(name string, p, c int, sizes []int, mk func(string) harness.App) ([]PageSizePoint, error) {
+	var out []PageSizePoint
+	for _, ps := range sizes {
+		cfg := Config(p, c)
+		cfg.PageSize = ps
+		res, err := harness.RunApp(mk(name), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("pagesize %d: %w", ps, err)
+		}
+		out = append(out, PageSizePoint{PageSize: ps, Cycles: res.Cycles})
+	}
+	return out, nil
+}
+
+// AblationMesh sweeps the named app under the paper's uniform
+// fixed-delay inter-SSMP LAN versus the contended 2D-mesh topology
+// extension (internal/msg mesh.go). perHop is the mesh's per-hop
+// latency in cycles; 250 makes the average uncontended mesh latency at
+// C=1, P=32 (a 6×6 grid, ~4 mean hops) comparable to the paper's
+// 1000-cycle uniform delay, isolating the effect of non-uniformity and
+// link contention.
+func AblationMesh(name string, p int, perHop sim.Time, mk func(string) harness.App) (uniform, mesh []harness.SweepPoint, err error) {
+	cfgFor := func(useMesh bool) func(c int) harness.Config {
+		return func(c int) harness.Config {
+			cfg := Config(p, c)
+			if useMesh {
+				cfg.Msg.InterMesh = true
+				cfg.Msg.InterPerHop = perHop
+			}
+			return cfg
+		}
+	}
+	cs := harness.PowersOfTwo(p / 2)
+	uniform, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(false))
+	if err != nil {
+		return nil, nil, err
+	}
+	mesh, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(true))
+	return uniform, mesh, err
+}
+
+// AblationUpdateProtocol sweeps the named app under invalidate-based
+// (the paper's) versus update-based (Galactica Net-style) release
+// rounds.
+func AblationUpdateProtocol(name string, p int, mk func(string) harness.App) (inval, update []harness.SweepPoint, err error) {
+	cfgFor := func(upd bool) func(c int) harness.Config {
+		return func(c int) harness.Config {
+			cfg := Config(p, c)
+			cfg.Protocol.UpdateProtocol = upd
+			return cfg
+		}
+	}
+	cs := harness.PowersOfTwo(p / 2)
+	inval, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(false))
+	if err != nil {
+		return nil, nil, err
+	}
+	update, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(true))
+	return inval, update, err
+}
+
+// AblationLazy sweeps the named app under the paper's eager release
+// consistency versus the TreadMarks-style lazy variant (the §6
+// comparison): releases stop invalidating, acquires validate instead.
+func AblationLazy(name string, p int, mk func(string) harness.App) (eager, lazy []harness.SweepPoint, err error) {
+	cfgFor := func(lz bool) func(c int) harness.Config {
+		return func(c int) harness.Config {
+			cfg := Config(p, c)
+			cfg.Protocol.LazyRelease = lz
+			return cfg
+		}
+	}
+	cs := harness.PowersOfTwo(p / 2)
+	eager, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(false))
+	if err != nil {
+		return nil, nil, err
+	}
+	lazy, err = harness.Sweep(func() harness.App { return mk(name) }, p, cs, cfgFor(true))
+	return eager, lazy, err
+}

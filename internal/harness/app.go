@@ -1,0 +1,60 @@
+package harness
+
+import "fmt"
+
+// App is a shared-memory application runnable on a Machine. Setup
+// allocates and initializes shared data (no simulated cost — the paper
+// measures the parallel section), Body runs on every processor, and
+// Verify checks the computed result against a host-side reference so
+// protocol bugs surface as wrong answers.
+type App interface {
+	Name() string
+	Setup(m *Machine)
+	Body(c *Ctx)
+	Verify(m *Machine) error
+}
+
+// RunApp builds a machine, runs the app, verifies the answer, and
+// returns the result.
+func RunApp(app App, cfg Config) (Result, error) {
+	m := NewMachine(cfg)
+	app.Setup(m)
+	res, err := m.Run(app.Body)
+	if err != nil {
+		return res, fmt.Errorf("%s: %w", app.Name(), err)
+	}
+	if err := app.Verify(m); err != nil {
+		return res, fmt.Errorf("%s: verification failed: %w", app.Name(), err)
+	}
+	return res, nil
+}
+
+// SweepPoint is one cluster size's outcome.
+type SweepPoint struct {
+	C   int
+	Res Result
+}
+
+// Sweep runs a fresh instance of the app at every cluster size in cs,
+// keeping P fixed — the paper's Figures 6–10 methodology. mk must
+// return a fresh App (apps hold machine-bound addresses).
+func Sweep(mk func() App, p int, cs []int, cfgFor func(c int) Config) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, c := range cs {
+		res, err := RunApp(mk(), cfgFor(c))
+		if err != nil {
+			return out, fmt.Errorf("C=%d: %w", c, err)
+		}
+		out = append(out, SweepPoint{C: c, Res: res})
+	}
+	return out, nil
+}
+
+// PowersOfTwo returns 1, 2, 4, ..., p.
+func PowersOfTwo(p int) []int {
+	var cs []int
+	for c := 1; c <= p; c *= 2 {
+		cs = append(cs, c)
+	}
+	return cs
+}

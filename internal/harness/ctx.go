@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"math"
+
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+	"mgs/internal/vm"
+)
+
+// Ctx is the per-processor view an application body programs against:
+// simulated shared-memory accesses, compute-cycle charging, and the
+// hierarchical synchronization primitives. It is the MGS programming
+// model — ordinary shared-memory code under release consistency.
+type Ctx struct {
+	m    *Machine
+	Proc *sim.Proc
+	// ID is this processor's number, 0..NProcs-1.
+	ID int
+	// NProcs is the machine's total processor count.
+	NProcs int
+}
+
+// Machine returns the machine this context runs on.
+func (c *Ctx) Machine() *Machine { return c.m }
+
+// Clock returns the processor's virtual time.
+func (c *Ctx) Clock() sim.Time { return c.Proc.Clock() }
+
+// Compute charges n cycles of pure computation (User time).
+func (c *Ctx) Compute(n sim.Time) {
+	c.Proc.Advance(n)
+	c.m.Stats.Charge(c.ID, stats.User, n)
+}
+
+// LoadF64 reads a shared float64 through the full memory system
+// (translation, TLB, caches, MGS protocol).
+func (c *Ctx) LoadF64(va vm.Addr) float64 {
+	f, off := c.m.DSM.Access(c.Proc, va, false, false)
+	return math.Float64frombits(f.Load64(off))
+}
+
+// StoreF64 writes a shared float64.
+func (c *Ctx) StoreF64(va vm.Addr, v float64) {
+	f, off := c.m.DSM.Access(c.Proc, va, true, false)
+	f.Store64(off, math.Float64bits(v))
+}
+
+// LoadI64 reads a shared int64.
+func (c *Ctx) LoadI64(va vm.Addr) int64 {
+	f, off := c.m.DSM.Access(c.Proc, va, false, false)
+	return int64(f.Load64(off))
+}
+
+// StoreI64 writes a shared int64.
+func (c *Ctx) StoreI64(va vm.Addr, v int64) {
+	f, off := c.m.DSM.Access(c.Proc, va, true, false)
+	f.Store64(off, uint64(v))
+}
+
+// LoadPtr reads a shared 64-bit word with the costlier pointer-
+// dereference translation sequence (paper §4.2.1).
+func (c *Ctx) LoadPtr(va vm.Addr) uint64 {
+	f, off := c.m.DSM.Access(c.Proc, va, false, true)
+	return f.Load64(off)
+}
+
+// StorePtr writes a shared 64-bit word via pointer translation.
+func (c *Ctx) StorePtr(va vm.Addr, v uint64) {
+	f, off := c.m.DSM.Access(c.Proc, va, true, true)
+	f.Store64(off, v)
+}
+
+// LoadF64Ptr reads a shared float64 via pointer translation.
+func (c *Ctx) LoadF64Ptr(va vm.Addr) float64 {
+	f, off := c.m.DSM.Access(c.Proc, va, false, true)
+	return math.Float64frombits(f.Load64(off))
+}
+
+// StoreF64Ptr writes a shared float64 via pointer translation.
+func (c *Ctx) StoreF64Ptr(va vm.Addr, v float64) {
+	f, off := c.m.DSM.Access(c.Proc, va, true, true)
+	f.Store64(off, math.Float64bits(v))
+}
+
+// LoadI64Ptr reads a shared int64 via pointer translation.
+func (c *Ctx) LoadI64Ptr(va vm.Addr) int64 {
+	f, off := c.m.DSM.Access(c.Proc, va, false, true)
+	return int64(f.Load64(off))
+}
+
+// StoreI64Ptr writes a shared int64 via pointer translation.
+func (c *Ctx) StoreI64Ptr(va vm.Addr, v int64) {
+	f, off := c.m.DSM.Access(c.Proc, va, true, true)
+	f.Store64(off, uint64(v))
+}
+
+// Barrier arrives at barrier id and waits for all processors.
+func (c *Ctx) Barrier(id int) { c.m.Sync.Barrier(id).Arrive(c.Proc) }
+
+// Acquire takes MGS distributed lock id.
+func (c *Ctx) Acquire(id int) { c.m.Sync.Lock(id).Acquire(c.Proc) }
+
+// Release flushes this processor's delayed update queue and releases
+// lock id.
+func (c *Ctx) Release(id int) { c.m.Sync.Lock(id).Release(c.Proc) }
+
+// Fence drains the delayed update queue without a lock or barrier (an
+// explicit release point).
+func (c *Ctx) Fence() { c.m.DSM.ReleaseAll(c.Proc) }

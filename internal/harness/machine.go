@@ -1,0 +1,203 @@
+// Package harness assembles complete DSSMP machines from the substrate
+// packages and runs applications and experiments on them. It is the
+// packaging layer the cmd/ tools, benchmarks, and examples all share.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"mgs/internal/cache"
+	"mgs/internal/core"
+	"mgs/internal/msg"
+	"mgs/internal/msync"
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+	"mgs/internal/vm"
+)
+
+// Config describes one DSSMP configuration.
+type Config struct {
+	P        int      // total processors
+	C        int      // processors per SSMP (cluster size)
+	PageSize int      // bytes
+	TLBSize  int      // software TLB entries per processor
+	Delay    sim.Time // fixed inter-SSMP message latency (LAN model)
+
+	// Disabled substitutes null MGS calls (the paper's C = P runs):
+	// plain software virtual memory, no software coherence.
+	Disabled bool
+
+	Protocol core.Costs
+	Cache    cache.Costs
+	CacheHW  cache.Params
+	Msg      msg.Costs
+	Sync     msync.Costs
+}
+
+// DefaultConfig returns the calibrated configuration for a P-processor
+// machine with clusters of c processors and the paper's parameters:
+// 1K-byte pages and a 1000-cycle inter-SSMP delay. When c == P the
+// software layer is disabled, exactly as in the paper's 32-processor
+// runs.
+func DefaultConfig(p, c int) Config {
+	return Config{
+		P: p, C: c, PageSize: 1024, TLBSize: 64, Delay: 1000,
+		Disabled: c == p,
+		Protocol: core.DefaultCosts(),
+		Cache: cache.Costs{
+			Hit: 2, Local: 11, Remote: 38, TwoParty: 42,
+			ThreeParty: 63, Software: 425, CleanPerLine: 40,
+		},
+		CacheHW: cache.DefaultParams(),
+		Msg: msg.Costs{
+			SendOverhead: 100, HandlerEntry: 500, PerHop: 2,
+			BytesPerCycle: 1, InterDelay: 1000, InterOverhead: 800,
+		},
+		Sync: msync.DefaultCosts(),
+	}
+}
+
+// Machine is one assembled DSSMP.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Net   *msg.Network
+	DSM   *core.System
+	Sync  *msync.System
+	Stats *stats.Collector
+	Procs []*sim.Proc
+
+	bodies []func(c *Ctx)
+	ran    bool
+}
+
+// NewMachine assembles a machine. The configuration's Msg.InterDelay is
+// overridden by Cfg.Delay so callers set the LAN latency in one place.
+func NewMachine(cfg Config) *Machine {
+	if cfg.P <= 0 || cfg.C <= 0 || cfg.P%cfg.C != 0 {
+		panic(fmt.Sprintf("harness: bad machine shape P=%d C=%d", cfg.P, cfg.C))
+	}
+	cfg.Msg.InterDelay = cfg.Delay
+	m := &Machine{Cfg: cfg, Eng: sim.NewEngine(), bodies: make([]func(*Ctx), cfg.P)}
+	for i := 0; i < cfg.P; i++ {
+		i := i
+		m.Procs = append(m.Procs, m.Eng.NewProc(i, 0, func(p *sim.Proc) {
+			if m.bodies[i] != nil {
+				m.bodies[i](&Ctx{m: m, Proc: p, ID: i, NProcs: cfg.P})
+			}
+		}))
+	}
+	m.Net = msg.NewNetwork(m.Eng, m.Procs, cfg.C, cfg.Msg)
+	m.Stats = stats.NewCollector(cfg.P)
+	st := m.Stats
+	m.Net.OnHandler = func(proc int, cyc sim.Time) { st.Charge(proc, stats.MGS, cyc) }
+	space := vm.NewSpace(cfg.PageSize, cfg.P)
+	m.DSM = core.New(m.Eng, m.Net, space, st, m.Procs, core.Config{
+		NProcs: cfg.P, ClusterSize: cfg.C, PageSize: cfg.PageSize,
+		TLBSize: cfg.TLBSize, Costs: cfg.Protocol,
+		CacheParams: cfg.CacheHW, CacheCosts: cfg.Cache,
+		Disabled: cfg.Disabled,
+	})
+	m.Sync = msync.New(m.Eng, m.DSM, m.Net, st, m.Procs, cfg.Sync)
+	return m
+}
+
+// Alloc reserves shared virtual memory (page aligned).
+func (m *Machine) Alloc(bytes int) vm.Addr { return m.DSM.Space().AllocPages(bytes) }
+
+// AllocPacked reserves shared memory with the given alignment, packed
+// against the previous allocation (so small objects share pages — the
+// false-sharing layout).
+func (m *Machine) AllocPacked(bytes, align int) vm.Addr {
+	return m.DSM.Space().Alloc(bytes, align)
+}
+
+// AllocHomed reserves a page-aligned region whose pages are explicitly
+// placed: homeOf(i) names the processor whose memory holds the region's
+// i-th page. This is the distributed-array layout of the paper's
+// applications (each block lives in its owner's memory).
+func (m *Machine) AllocHomed(bytes int, homeOf func(page int) int) vm.Addr {
+	sp := m.DSM.Space()
+	base := sp.AllocPages(bytes)
+	npages := (bytes + m.Cfg.PageSize - 1) / m.Cfg.PageSize
+	for i := 0; i < npages; i++ {
+		sp.SetHome(sp.PageOf(base)+vm.Page(i), homeOf(i)%m.Cfg.P)
+	}
+	return base
+}
+
+// SetF64 initializes a shared float64 without simulated cost (setup).
+func (m *Machine) SetF64(va vm.Addr, v float64) {
+	m.DSM.BackdoorStore64(va, math.Float64bits(v))
+}
+
+// GetF64 reads a shared float64 without simulated cost (verification).
+func (m *Machine) GetF64(va vm.Addr) float64 {
+	return math.Float64frombits(m.DSM.BackdoorLoad64(va))
+}
+
+// SetI64 initializes a shared int64 without simulated cost.
+func (m *Machine) SetI64(va vm.Addr, v int64) {
+	m.DSM.BackdoorStore64(va, uint64(v))
+}
+
+// GetI64 reads a shared int64 without simulated cost.
+func (m *Machine) GetI64(va vm.Addr) int64 {
+	return int64(m.DSM.BackdoorLoad64(va))
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Cycles is the parallel execution time: the final virtual time.
+	Cycles sim.Time
+	// Breakdown is the per-category cycle attribution (Figures 6–10).
+	Breakdown stats.Breakdown
+	// LockHits/LockTotal aggregate MGS lock behaviour (Figure 11).
+	LockHits, LockTotal int64
+	// Message traffic.
+	InterMsgs, InterBytes, IntraMsgs int64
+	// Counters are the protocol event counters, sorted.
+	Counters []string
+}
+
+// Run executes body on every processor and collects the result. A
+// machine runs once.
+func (m *Machine) Run(body func(c *Ctx)) (Result, error) {
+	return m.RunPer(func(i int) func(c *Ctx) { return body })
+}
+
+// RunPer executes bodyFor(i) on processor i.
+func (m *Machine) RunPer(bodyFor func(i int) func(c *Ctx)) (Result, error) {
+	if m.ran {
+		panic("harness: machine already ran")
+	}
+	m.ran = true
+	for i := range m.bodies {
+		m.bodies[i] = bodyFor(i)
+	}
+	if err := m.Eng.Run(); err != nil {
+		return Result{}, err
+	}
+	hits, total := m.Sync.LockStats()
+	return Result{
+		Cycles:     m.lastClock(),
+		Breakdown:  m.Stats.Breakdown(),
+		LockHits:   hits,
+		LockTotal:  total,
+		InterMsgs:  m.Net.Counters.InterMsgs,
+		InterBytes: m.Net.Counters.InterBytes,
+		IntraMsgs:  m.Net.Counters.IntraMsgs,
+		Counters:   m.Stats.Counters(),
+	}, nil
+}
+
+func (m *Machine) lastClock() sim.Time {
+	var t sim.Time
+	for _, p := range m.Procs {
+		if p.Clock() > t {
+			t = p.Clock()
+		}
+	}
+	return t
+}

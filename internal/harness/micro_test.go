@@ -1,0 +1,29 @@
+package harness
+
+import "testing"
+
+// TestMicroCalibration measures the Table 3 software costs through the
+// full protocol stack and requires them to stay within tolerance of the
+// paper's published numbers, so cost regressions show up as test
+// failures. The emergent values also print for EXPERIMENTS.md.
+func TestMicroCalibration(t *testing.T) {
+	mi := MeasureMicro()
+	t.Logf("\n%s", mi)
+	within := func(name string, got, want, tol float64) {
+		lo, hi := want*(1-tol), want*(1+tol)
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("%s = %.0f, want within %.0f%% of %.0f", name, got, tol*100, want)
+		}
+	}
+	within("TLB fill", float64(mi.TLBFill), float64(PaperMicro.TLBFill), 0.25)
+	within("inter-SSMP read miss", float64(mi.ReadMiss), float64(PaperMicro.ReadMiss), 0.35)
+	within("inter-SSMP write miss", float64(mi.WriteMiss), float64(PaperMicro.WriteMiss), 0.35)
+	within("release 1 writer", float64(mi.Release1W), float64(PaperMicro.Release1W), 0.35)
+	within("release 2 writers", float64(mi.Release2W), float64(PaperMicro.Release2W), 0.35)
+	if mi.WriteMiss <= mi.ReadMiss {
+		t.Errorf("write miss (%d) must cost more than read miss (%d)", mi.WriteMiss, mi.ReadMiss)
+	}
+	if mi.Release2W <= mi.Release1W {
+		t.Errorf("2-writer release (%d) must cost more than 1-writer (%d)", mi.Release2W, mi.Release1W)
+	}
+}

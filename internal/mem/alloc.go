@@ -1,0 +1,28 @@
+package mem
+
+// FrameAllocator hands out machine-wide unique physical frame IDs.
+// Physical capacity is not modeled (the paper's nodes have far more DRAM
+// than any workload here touches); the allocator exists so that every
+// frame has a distinct physical tag for the cache model.
+type FrameAllocator struct {
+	next     uint64
+	pageSize int
+}
+
+// NewFrameAllocator returns an allocator for frames of pageSize bytes.
+func NewFrameAllocator(pageSize int) *FrameAllocator {
+	return &FrameAllocator{pageSize: pageSize}
+}
+
+// PageSize returns the frame size in bytes.
+func (a *FrameAllocator) PageSize() int { return a.pageSize }
+
+// Alloc returns a fresh zeroed frame with a unique ID.
+func (a *FrameAllocator) Alloc() *Frame {
+	f := NewFrame(a.next, a.pageSize)
+	a.next++
+	return f
+}
+
+// Allocated reports how many frames have been handed out.
+func (a *FrameAllocator) Allocated() uint64 { return a.next }

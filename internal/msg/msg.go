@@ -1,0 +1,208 @@
+// Package msg models MGS's two communication layers: Alewife-style
+// active messages with DMA inside an SSMP, and the emulated LAN between
+// SSMPs (paper §4.2.2–§4.2.3).
+//
+// A message addressed to a processor invokes a handler there. Handlers
+// on the same destination processor serialize (the paper's hardware
+// contexts make dispatch cheap, but a processor still executes one
+// handler at a time), which is what makes a hot home processor — TSP's
+// work-queue home, Water's statistics home — a genuine bottleneck in
+// the simulation, as in the paper.
+//
+// Inter-SSMP messages pay a fixed extra delay, exactly like the paper's
+// emulation: "all messages between logical SSMPs are queued at the
+// sending processor and a timer interrupt is set for some amount of
+// delay". Contention in the LAN is not modeled (nor was it in MGS).
+package msg
+
+import "mgs/internal/sim"
+
+// Costs parameterizes message timing, in cycles.
+type Costs struct {
+	SendOverhead  sim.Time // occupancy to compose and launch a message
+	HandlerEntry  sim.Time // dispatch into a handler at the receiver
+	PerHop        sim.Time // per mesh hop inside an SSMP
+	BytesPerCycle int      // DMA bandwidth (bytes moved per cycle)
+	InterDelay    sim.Time // fixed inter-SSMP latency (the LAN knob)
+	InterOverhead sim.Time // software protocol stack per inter-SSMP message
+
+	// InterMesh, when true, replaces the uniform inter-SSMP LAN with a
+	// 2D mesh of SSMPs: dimension-ordered routing at InterPerHop cycles
+	// per hop, plus deterministic store-and-forward link contention (see
+	// mesh.go). InterDelay is ignored; InterOverhead is still paid as
+	// the software stack cost.
+	InterMesh   bool
+	InterPerHop sim.Time
+
+	// Jitter, when positive, adds a deterministic pseudo-random extra
+	// delay in [0, Jitter) to every message, seeded by JitterSeed.
+	// Runs stay reproducible, but message arrival orders get shuffled —
+	// an adversarial mode for hunting protocol ordering races. The
+	// paper's LAN model has no contention; jitter also stands in for a
+	// loaded network.
+	Jitter     sim.Time
+	JitterSeed uint64
+}
+
+// Counters tallies traffic.
+type Counters struct {
+	IntraMsgs, InterMsgs   int64
+	IntraBytes, InterBytes int64
+	// LinkWaitCycles accumulates mesh link queueing delay (InterMesh
+	// mode only).
+	LinkWaitCycles int64
+}
+
+// Network routes messages between the processors of one machine.
+type Network struct {
+	eng    *sim.Engine
+	procs  []*sim.Proc
+	nprocs int
+	csize  int // processors per SSMP
+	meshW  int // width of the intra-SSMP mesh
+	costs  Costs
+	rng    uint64 // xorshift state for deterministic jitter
+
+	// linkBusy tracks, per directed inter-SSMP mesh link, the time at
+	// which the link next frees (InterMesh mode only).
+	linkBusy map[link]sim.Time
+
+	// OnHandler, if set, is called for every cycle of handler work
+	// charged to a processor (protocol-time attribution).
+	OnHandler func(proc int, cycles sim.Time)
+
+	Counters Counters
+}
+
+// NewNetwork builds the network for nprocs processors grouped into SSMPs
+// of csize each. procs[i] must be the simulated processor i.
+func NewNetwork(eng *sim.Engine, procs []*sim.Proc, csize int, costs Costs) *Network {
+	if costs.BytesPerCycle <= 0 {
+		costs.BytesPerCycle = 1
+	}
+	w := 1
+	for w*w < csize {
+		w++
+	}
+	seed := costs.JitterSeed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Network{
+		eng: eng, procs: procs, nprocs: len(procs), csize: csize,
+		meshW: w, costs: costs, rng: seed,
+		linkBusy: make(map[link]sim.Time),
+	}
+}
+
+// jitter returns the next deterministic pseudo-random extra delay.
+func (n *Network) jitter() sim.Time {
+	if n.costs.Jitter <= 0 {
+		return 0
+	}
+	// xorshift64*
+	n.rng ^= n.rng >> 12
+	n.rng ^= n.rng << 25
+	n.rng ^= n.rng >> 27
+	v := n.rng * 0x2545f4914f6cdd1d
+	return sim.Time(v % uint64(n.costs.Jitter))
+}
+
+// Costs returns the cost table in use.
+func (n *Network) Costs() Costs { return n.costs }
+
+// SSMPOf returns the SSMP number of a processor.
+func (n *Network) SSMPOf(proc int) int { return proc / n.csize }
+
+// hops is the Manhattan distance between two processors of the same SSMP
+// laid out in a square mesh.
+func (n *Network) hops(a, b int) sim.Time {
+	ai, bi := a%n.csize, b%n.csize
+	ax, ay := ai%n.meshW, ai/n.meshW
+	bx, by := bi%n.meshW, bi/n.meshW
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return sim.Time(dx + dy)
+}
+
+// Latency returns the wire+transfer latency of a message of the given
+// payload from processor `from` to processor `to`, excluding send and
+// handler occupancy.
+func (n *Network) Latency(from, to, bytes int) sim.Time {
+	xfer := sim.Time(bytes / n.costs.BytesPerCycle)
+	if n.SSMPOf(from) == n.SSMPOf(to) {
+		return n.hops(from, to)*n.costs.PerHop + xfer
+	}
+	if n.costs.InterMesh {
+		return n.meshLatency(from, to, bytes)
+	}
+	return n.costs.InterOverhead + n.costs.InterDelay + xfer
+}
+
+// Send delivers an active message: composed at `when` on processor
+// `from`, arriving at processor `to` after the wire latency, then
+// running `fn` as a handler once the destination processor's handler
+// resource is free. fn receives the virtual time at which the handler
+// body has completed (HandlerEntry plus extra cycles of handler work).
+//
+// Send must be called from engine or processor context with when >= the
+// caller's current virtual time. The sender is charged SendOverhead of
+// occupancy via debt; callers that want the sender's clock to reflect
+// the send should also advance it by SendCost.
+func (n *Network) Send(from, to int, when sim.Time, bytes int, extra sim.Time, fn func(done sim.Time)) {
+	inter := n.SSMPOf(from) != n.SSMPOf(to)
+	if inter {
+		n.Counters.InterMsgs++
+		n.Counters.InterBytes += int64(bytes)
+	} else {
+		n.Counters.IntraMsgs++
+		n.Counters.IntraBytes += int64(bytes)
+	}
+	var arrive sim.Time
+	if inter && n.costs.InterMesh {
+		arrive = n.meshArrive(from, to, when+n.costs.SendOverhead, bytes) + n.jitter()
+	} else {
+		arrive = when + n.costs.SendOverhead + n.Latency(from, to, bytes) + n.jitter()
+	}
+	n.eng.At(arrive, func() {
+		cost := n.costs.HandlerEntry + extra
+		start := n.procs[to].HandlerStart(arrive, cost)
+		n.chargeHandler(to, cost)
+		n.eng.At(start+cost, func() { fn(start + cost) })
+	})
+}
+
+// SendCost is the occupancy a sender spends launching one message.
+func (n *Network) SendCost() sim.Time { return n.costs.SendOverhead }
+
+// Extend charges additional handler work discovered mid-handler (for
+// data-dependent costs such as diff sizes) on processor proc starting at
+// time at. It returns the completion time of the extra work.
+func (n *Network) Extend(proc int, at, extra sim.Time) sim.Time {
+	if extra <= 0 {
+		return at
+	}
+	n.procs[proc].HandlerStart(at, extra)
+	n.chargeHandler(proc, extra)
+	return at + extra
+}
+
+// XferCycles converts a byte count to DMA cycles at the configured
+// bandwidth.
+func (n *Network) XferCycles(bytes int) sim.Time {
+	return sim.Time(bytes / n.costs.BytesPerCycle)
+}
+
+func (n *Network) chargeHandler(proc int, cycles sim.Time) {
+	if n.OnHandler != nil {
+		n.OnHandler(proc, cycles)
+	}
+	if !n.procs[proc].Parked() {
+		n.procs[proc].AddDebt(cycles)
+	}
+}

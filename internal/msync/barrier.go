@@ -1,0 +1,104 @@
+package msync
+
+import (
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+)
+
+// Barrier is one MGS tree barrier: a local combine per SSMP, then one
+// COMBINE and one RELEASE message per SSMP through the barrier's home.
+type Barrier struct {
+	m    *System
+	id   int
+	home int // global processor hosting the top of the tree
+
+	local   []localBarrier
+	arrived int // SSMPs combined this episode
+
+	episodes int64
+}
+
+// localBarrier is the per-SSMP combining node.
+type localBarrier struct {
+	count   int
+	waiting []*sim.Proc
+	// maxClock is the latest virtual arrival time this episode. The
+	// upward COMBINE is timestamped with it: under direct execution a
+	// run-ahead processor can arrive first in engine order with a
+	// far-future clock, and the combine must not depart before every
+	// local arrival's virtual time.
+	maxClock sim.Time
+}
+
+// Barrier returns the barrier with the given id, creating it on first
+// use.
+func (m *System) Barrier(id int) *Barrier {
+	if b, ok := m.barriers[id]; ok {
+		return b
+	}
+	b := &Barrier{m: m, id: id, home: id % m.p, local: make([]localBarrier, m.nssmp())}
+	m.barriers[id] = b
+	return b
+}
+
+// Arrive blocks processor p until all processors have arrived. Arrival
+// is a release point: the caller's delayed update queue drains first
+// (charged as MGS), and only then does the barrier account start.
+func (b *Barrier) Arrive(p *sim.Proc) {
+	p.Yield() // surface run-ahead before taking part in ordering
+	m := b.m
+	m.dsm.ReleaseAll(p)
+	m.charge(p, stats.Barrier, m.costs.BarrierOp)
+	s := m.ssmpOf(p.ID)
+	lb := &b.local[s]
+	lb.count++
+	if p.Clock() > lb.maxClock {
+		lb.maxClock = p.Clock()
+	}
+	if lb.count == m.c {
+		// Last arriver in the SSMP: combine upward, no earlier than the
+		// latest local arrival.
+		when := lb.maxClock
+		lb.count = 0
+		lb.maxClock = 0
+		m.charge(p, stats.Barrier, m.net.SendCost())
+		m.net.Send(p.ID, b.home, when, 32, m.costs.BarrierOp,
+			func(at sim.Time) { b.onCombine(at) })
+	}
+	lb.waiting = append(lb.waiting, p)
+	c0 := p.Clock()
+	p.Park() // woken by the local release
+	m.st.Charge(p.ID, stats.Barrier, p.Clock()-c0)
+	m.dsm.AcquireSync(p) // a barrier exit is an acquire (lazy release)
+}
+
+// onCombine runs at the barrier home: one SSMP has fully arrived.
+func (b *Barrier) onCombine(at sim.Time) {
+	b.arrived++
+	if b.arrived < b.m.nssmp() {
+		return
+	}
+	b.arrived = 0
+	b.episodes++
+	m := b.m
+	for s := 0; s < m.nssmp(); s++ {
+		s := s
+		m.net.Send(b.home, m.repProc(s, b.id), at, 32, m.costs.BarrierOp,
+			func(at2 sim.Time) { b.onRelease(s, at2) })
+	}
+}
+
+// onRelease runs in each SSMP: wake every waiting processor. Wakeups
+// stagger slightly, modeling the sequential reads of the shared release
+// flag.
+func (b *Barrier) onRelease(s int, at sim.Time) {
+	lb := &b.local[s]
+	waiters := lb.waiting
+	lb.waiting = nil
+	for i, p := range waiters {
+		p.Wake(at + sim.Time(i+1)*b.m.costs.BarrierOp/4)
+	}
+}
+
+// Episodes reports how many times the barrier has released.
+func (b *Barrier) Episodes() int64 { return b.episodes }

@@ -1,0 +1,231 @@
+package msync
+
+import (
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+)
+
+// Lock is one MGS token-based distributed lock.
+type Lock struct {
+	m    *System
+	id   int
+	home int // global processor hosting the global lock
+
+	local []localLock
+
+	// Global-lock state (lives at home; single-threaded simulation lets
+	// us keep it here, mutated only by home-side handlers).
+	tokenOwner int   // SSMP currently holding the token
+	reqQueue   []int // SSMPs waiting for the token, FIFO
+	demandOut  bool  // a DEMAND message is outstanding
+
+	hits, total int64
+	heldSince   sim.Time
+}
+
+// localLock is the per-SSMP half of a distributed lock.
+type localLock struct {
+	hasToken  bool
+	held      bool
+	waitQ     []*sim.Proc
+	requested bool // TOKEN_REQ sent, grant pending
+	demand    bool // home wants the token back at next release
+}
+
+// Lock returns the lock with the given id, creating it on first use. A
+// fresh lock's token sits at its home SSMP.
+func (m *System) Lock(id int) *Lock { return m.LockHomed(id, id%m.p) }
+
+// LockHomed returns lock id, creating it with its global half on the
+// given processor (a lock placed with the data it protects, as the
+// paper's per-molecule locks are). The home only takes effect at
+// creation.
+func (m *System) LockHomed(id, home int) *Lock {
+	if l, ok := m.locks[id]; ok {
+		return l
+	}
+	home %= m.p
+	l := &Lock{
+		m: m, id: id, home: home,
+		local:      make([]localLock, m.nssmp()),
+		tokenOwner: m.ssmpOf(home),
+	}
+	l.local[l.tokenOwner].hasToken = true
+	m.locks[id] = l
+	return l
+}
+
+// Acquire blocks processor p until it holds the lock. Time spent is
+// attributed to the Lock category.
+func (l *Lock) Acquire(p *sim.Proc) {
+	m := l.m
+	// Synchronization operations are ordering-relevant: yield so every
+	// event at or before this processor's clock settles first (and so a
+	// spin loop of local acquires cannot starve the engine).
+	p.Yield()
+	s := m.ssmpOf(p.ID)
+	ll := &l.local[s]
+	l.total++
+	m.charge(p, stats.Lock, m.costs.LockOp)
+
+	if ll.hasToken && !ll.held {
+		ll.held = true
+		l.heldSince = p.Clock()
+		l.hits++
+		m.dsm.AcquireSync(p) // lazy-release acquire-side coherence
+		return
+	}
+	ll.waitQ = append(ll.waitQ, p)
+	if !ll.hasToken && !ll.requested {
+		ll.requested = true
+		m.charge(p, stats.Lock, m.net.SendCost())
+		m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
+			func(at sim.Time) { l.onTokenReq(s, at) })
+	}
+	c0 := p.Clock()
+	p.Park() // woken holding the lock
+	m.st.Charge(p.ID, stats.Lock, p.Clock()-c0)
+	m.dsm.AcquireSync(p)
+}
+
+// Release drains the caller's delayed update queue (the release-
+// consistency flush — this is where critical sections dilate under
+// software coherence) and then passes the lock on: to the home if a
+// remote SSMP demanded the token, else to the next local waiter.
+func (l *Lock) Release(p *sim.Proc) {
+	m := l.m
+	p.Yield()
+	m.dsm.ReleaseAll(p)
+	m.charge(p, stats.Lock, m.costs.LockOp)
+	s := m.ssmpOf(p.ID)
+	ll := &l.local[s]
+	if !ll.held || !ll.hasToken {
+		panic("msync: release of a lock not held by this SSMP")
+	}
+	if l.heldSince > 0 {
+		m.st.Count("lock.heldcycles", int64(p.Clock()-l.heldSince))
+		m.st.Count("lock.cs", 1)
+	}
+	ll.held = false
+	if ll.demand {
+		ll.demand = false
+		ll.hasToken = false
+		if len(ll.waitQ) > 0 && !ll.requested {
+			// Local waiters remain: re-request the token.
+			ll.requested = true
+			m.charge(p, stats.Lock, m.net.SendCost())
+			m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
+				func(at sim.Time) { l.onTokenReq(s, at) })
+		}
+		m.charge(p, stats.Lock, m.net.SendCost())
+		m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
+			func(at sim.Time) { l.onTokenBack(at) })
+		return
+	}
+	if len(ll.waitQ) > 0 {
+		next := ll.waitQ[0]
+		ll.waitQ = ll.waitQ[1:]
+		ll.held = true
+		l.heldSince = p.Clock() + m.costs.LockOp
+		l.hits++
+		if m.Trace != nil {
+			m.Trace("t=%d HANDOFF lock=%d releaser=%d(clk %d) next=%d(clk %d)", p.Clock(), l.id, p.ID, p.Clock(), next.ID, next.Clock())
+		}
+		m.eng.At(p.Clock()+m.costs.LockOp, func() { next.Wake(p.Clock() + m.costs.LockOp) })
+	}
+}
+
+// onTokenReq runs at the global lock home: SSMP s wants the token.
+func (l *Lock) onTokenReq(s int, at sim.Time) {
+	l.reqQueue = append(l.reqQueue, s)
+	l.pumpDemand(at)
+}
+
+// pumpDemand sends a DEMAND to the current token owner if one is needed
+// and none is in flight.
+func (l *Lock) pumpDemand(at sim.Time) {
+	if l.demandOut || len(l.reqQueue) == 0 {
+		return
+	}
+	l.demandOut = true
+	m := l.m
+	owner := l.tokenOwner
+	m.net.Send(l.home, m.repProc(owner, l.id), at, 32, m.costs.TokenWork,
+		func(at2 sim.Time) { l.onDemand(owner, at2) })
+}
+
+// onDemand runs at the token owner SSMP: give the token back to the
+// home, now if the local lock is free, or at the next release.
+func (l *Lock) onDemand(s int, at sim.Time) {
+	ll := &l.local[s]
+	if !ll.hasToken {
+		// The demand overtook the grant (possible under message
+		// jitter): remember it, so the grant hands the token on after
+		// serving one local acquire.
+		ll.demand = true
+		return
+	}
+	if ll.held {
+		ll.demand = true
+		return
+	}
+	ll.hasToken = false
+	m := l.m
+	m.net.Send(m.repProc(s, l.id), l.home, at, 32, m.costs.TokenWork,
+		func(at2 sim.Time) { l.onTokenBack(at2) })
+}
+
+// onTokenBack runs at the home: hand the token to the first queued SSMP.
+func (l *Lock) onTokenBack(at sim.Time) {
+	l.demandOut = false
+	if len(l.reqQueue) == 0 {
+		// No one waiting after all; home's SSMP keeps the token.
+		s := l.m.ssmpOf(l.home)
+		l.tokenOwner = s
+		l.local[s].hasToken = true
+		return
+	}
+	next := l.reqQueue[0]
+	l.reqQueue = l.reqQueue[1:]
+	l.tokenOwner = next
+	m := l.m
+	m.net.Send(l.home, m.repProc(next, l.id), at, 32, m.costs.TokenWork,
+		func(at2 sim.Time) { l.onTokenGrant(next, at2) })
+	// More SSMPs queued: recall the token from its new owner too, after
+	// it serves one holder.
+	l.pumpDemand(at)
+}
+
+// onTokenGrant runs at the requesting SSMP: the token has arrived; grant
+// the lock to the first local waiter.
+func (l *Lock) onTokenGrant(s int, at sim.Time) {
+	ll := &l.local[s]
+	ll.hasToken = true
+	ll.requested = false
+	if len(ll.waitQ) == 0 {
+		if ll.demand {
+			// A demand overtook this grant and nobody is waiting
+			// locally: send the token straight back.
+			ll.demand = false
+			ll.hasToken = false
+			m := l.m
+			m.net.Send(m.repProc(s, l.id), l.home, at, 32, m.costs.TokenWork,
+				func(at2 sim.Time) { l.onTokenBack(at2) })
+		}
+		return
+	}
+	next := ll.waitQ[0]
+	ll.waitQ = ll.waitQ[1:]
+	ll.held = true
+	l.heldSince = at + l.m.costs.LockOp
+	next.Wake(at + l.m.costs.LockOp)
+}
+
+// Stats reports the lock's hit and total acquire counts (Figure 11).
+func (l *Lock) Stats() (hits, total int64) { return l.hits, l.total }
+
+// charge advances p and attributes the cycles.
+func (m *System) charge(p *sim.Proc, cat stats.Category, cycles sim.Time) {
+	p.Advance(cycles)
+	m.st.Charge(p.ID, cat, cycles)
+}

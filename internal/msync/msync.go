@@ -1,0 +1,96 @@
+// Package msync is the MGS user-level synchronization library (paper
+// §3.2): primitives that know the DSSMP hierarchy and contain
+// communication within an SSMP whenever possible.
+//
+// The barrier is a two-level tree: processors first combine inside
+// their SSMP through hardware shared memory, then one COMBINE message
+// per SSMP reaches the barrier's home, which answers with one RELEASE
+// message per SSMP — the minimum two inter-SSMP messages per SSMP.
+//
+// The lock is token-based and distributed: each lock is a local lock
+// per SSMP plus a single global lock (the token home). Acquires succeed
+// locally while the SSMP owns the token; only when consecutive acquires
+// come from different SSMPs does the token move, via the global home.
+// The lock hit ratio (acquires needing no inter-SSMP communication /
+// all acquires) is the paper's Figure 11 metric.
+//
+// Both primitives are release points: they drain the caller's delayed
+// update queue through core.System.ReleaseAll before publishing the
+// release or barrier arrival — which is exactly where the paper's
+// critical-section dilation comes from. Under the lazy-release
+// extension they are acquire points too: every lock grant and barrier
+// exit runs core.System.AcquireSync to validate the acquiring SSMP's
+// copies against the home versions.
+package msync
+
+import (
+	"mgs/internal/core"
+	"mgs/internal/msg"
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+)
+
+// Costs parameterizes synchronization overheads, in cycles.
+type Costs struct {
+	LockOp    sim.Time // local lock manipulation in shared memory
+	BarrierOp sim.Time // local barrier counter update
+	TokenWork sim.Time // global-lock handler bookkeeping
+}
+
+// DefaultCosts returns reasonable hardware-shared-memory costs.
+func DefaultCosts() Costs {
+	return Costs{LockOp: 60, BarrierOp: 60, TokenWork: 120}
+}
+
+// System manages the locks and barriers of one machine.
+type System struct {
+	eng   *sim.Engine
+	dsm   *core.System
+	net   *msg.Network
+	st    *stats.Collector
+	procs []*sim.Proc
+	costs Costs
+	p, c  int
+
+	locks    map[int]*Lock
+	barriers map[int]*Barrier
+
+	// Trace, if set, receives a line per lock event (tests and tools).
+	Trace func(format string, args ...any)
+}
+
+// New builds the synchronization system for the machine owning dsm.
+func New(eng *sim.Engine, dsm *core.System, net *msg.Network, st *stats.Collector, procs []*sim.Proc, costs Costs) *System {
+	cfg := dsm.Config()
+	return &System{
+		eng: eng, dsm: dsm, net: net, st: st, procs: procs, costs: costs,
+		p: cfg.NProcs, c: cfg.ClusterSize,
+		locks: make(map[int]*Lock), barriers: make(map[int]*Barrier),
+	}
+}
+
+func (m *System) nssmp() int          { return m.p / m.c }
+func (m *System) ssmpOf(proc int) int { return proc / m.c }
+
+// repProc is the processor that runs SSMP-side handlers for object id in
+// SSMP s — spread across the SSMP's processors by id.
+func (m *System) repProc(s, id int) int { return s*m.c + id%m.c }
+
+// LockStats aggregates hit/total across the given locks (all locks if
+// ids is empty).
+func (m *System) LockStats(ids ...int) (hits, total int64) {
+	if len(ids) == 0 {
+		for _, l := range m.locks {
+			hits += l.hits
+			total += l.total
+		}
+		return hits, total
+	}
+	for _, id := range ids {
+		if l, ok := m.locks[id]; ok {
+			hits += l.hits
+			total += l.total
+		}
+	}
+	return hits, total
+}

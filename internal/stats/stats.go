@@ -1,0 +1,138 @@
+// Package stats attributes simulated cycles to the four runtime
+// components the paper's Figures 6–10 and 12 report: User (application
+// work, software address translation, and hardware shared-memory
+// stalls), Lock, Barrier, and MGS (all software coherence protocol
+// time, including fault waits and protocol handler occupancy).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mgs/internal/sim"
+)
+
+// Category is one runtime component.
+type Category uint8
+
+const (
+	// User: application cycles, translation, hardware memory stalls.
+	User Category = iota
+	// Lock: acquiring, holding queues for, and waiting on MGS locks.
+	Lock
+	// Barrier: executing and waiting in barriers.
+	Barrier
+	// MGS: software shared-memory protocol processing and fault waits.
+	MGS
+
+	// NumCategories is the number of categories.
+	NumCategories
+)
+
+var categoryNames = [...]string{"User", "Lock", "Barrier", "MGS"}
+
+// String returns the category name used in the paper's figures.
+func (c Category) String() string { return categoryNames[c] }
+
+// Collector accumulates per-processor cycle buckets and named event
+// counters for one run.
+type Collector struct {
+	buckets  [][NumCategories]sim.Time
+	mode     []Category
+	counters map[string]int64
+}
+
+// NewCollector returns a collector for nprocs processors, all starting
+// in User mode.
+func NewCollector(nprocs int) *Collector {
+	return &Collector{
+		buckets:  make([][NumCategories]sim.Time, nprocs),
+		mode:     make([]Category, nprocs),
+		counters: make(map[string]int64),
+	}
+}
+
+// Mode returns processor p's current attribution mode.
+func (c *Collector) Mode(p int) Category { return c.mode[p] }
+
+// SetMode switches processor p's attribution mode, returning the
+// previous mode so callers can restore it.
+func (c *Collector) SetMode(p int, m Category) Category {
+	prev := c.mode[p]
+	c.mode[p] = m
+	return prev
+}
+
+// Charge adds cycles to a specific bucket of processor p.
+func (c *Collector) Charge(p int, cat Category, cycles sim.Time) {
+	c.buckets[p][cat] += cycles
+}
+
+// ChargeMode adds cycles to processor p's current-mode bucket.
+func (c *Collector) ChargeMode(p int, cycles sim.Time) {
+	c.buckets[p][c.mode[p]] += cycles
+}
+
+// Count increments the named event counter.
+func (c *Collector) Count(name string, delta int64) { c.counters[name] += delta }
+
+// Counter returns the value of a named counter.
+func (c *Collector) Counter(name string) int64 { return c.counters[name] }
+
+// Counters returns all counters as sorted "name=value" strings.
+func (c *Collector) Counters() []string {
+	out := make([]string, 0, len(c.counters))
+	for k, v := range c.counters {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Breakdown is the aggregate result of a run.
+type Breakdown struct {
+	// PerProc[p][cat] is processor p's cycles in cat.
+	PerProc [][NumCategories]sim.Time
+	// Avg[cat] is the mean over processors.
+	Avg [NumCategories]float64
+	// Total[cat] sums over processors.
+	Total [NumCategories]sim.Time
+}
+
+// Breakdown summarizes the collected buckets.
+func (c *Collector) Breakdown() Breakdown {
+	b := Breakdown{PerProc: make([][NumCategories]sim.Time, len(c.buckets))}
+	copy(b.PerProc, c.buckets)
+	n := float64(len(c.buckets))
+	for _, pb := range c.buckets {
+		for cat := Category(0); cat < NumCategories; cat++ {
+			b.Total[cat] += pb[cat]
+		}
+	}
+	for cat := Category(0); cat < NumCategories; cat++ {
+		b.Avg[cat] = float64(b.Total[cat]) / n
+	}
+	return b
+}
+
+// AvgTotal returns the mean total busy cycles per processor.
+func (b Breakdown) AvgTotal() float64 {
+	var s float64
+	for _, v := range b.Avg {
+		s += v
+	}
+	return s
+}
+
+// String renders the breakdown in one line, components in figure order.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	for cat := Category(0); cat < NumCategories; cat++ {
+		if cat > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%.0f", cat, b.Avg[cat])
+	}
+	return sb.String()
+}

@@ -1,0 +1,217 @@
+// Package vm models the software virtual memory layer of MGS.
+//
+// Alewife has no hardware virtual memory; MGS performs address
+// translation in software (paper §4.2.1), with a per-processor software
+// TLB backed by per-SSMP page tables. This package provides the address
+// arithmetic (Layout), the global virtual allocator with address-based
+// home assignment (Space), and the software TLB model with its three
+// mapping states TLB_INV / TLB_READ / TLB_WRITE (as Priv None/Read/
+// Write). Page-table state beyond the TLB belongs to the MGS protocol
+// itself and lives in internal/core.
+package vm
+
+import "fmt"
+
+// Addr is a virtual byte address.
+type Addr uint64
+
+// Page is a virtual page number.
+type Page uint64
+
+// Priv is the privilege of a mapping.
+type Priv uint8
+
+const (
+	// None: TLB_INV, no mapping.
+	None Priv = iota
+	// Read: TLB_READ, read-only mapping.
+	Read
+	// Write: TLB_WRITE, read-write mapping.
+	Write
+)
+
+// String returns the paper's name for the TLB state.
+func (p Priv) String() string {
+	switch p {
+	case Read:
+		return "TLB_READ"
+	case Write:
+		return "TLB_WRITE"
+	}
+	return "TLB_INV"
+}
+
+// Layout holds the page-size arithmetic for a machine.
+type Layout struct {
+	pageSize int
+	shift    uint
+}
+
+// NewLayout returns a layout for pages of pageSize bytes, which must be
+// a power of two.
+func NewLayout(pageSize int) Layout {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("vm: page size %d is not a power of two", pageSize))
+	}
+	s := uint(0)
+	for 1<<s < pageSize {
+		s++
+	}
+	return Layout{pageSize: pageSize, shift: s}
+}
+
+// PageSize returns the page size in bytes.
+func (l Layout) PageSize() int { return l.pageSize }
+
+// PageOf returns the page containing address a.
+func (l Layout) PageOf(a Addr) Page { return Page(a >> l.shift) }
+
+// Offset returns a's byte offset within its page.
+func (l Layout) Offset(a Addr) int { return int(a) & (l.pageSize - 1) }
+
+// Base returns the first address of page p.
+func (l Layout) Base(p Page) Addr { return Addr(uint64(p) << l.shift) }
+
+// Space is the global virtual address space: a bump allocator plus the
+// fixed address-based home map ("the location of the home is based on
+// the virtual address and remains fixed for all time", §3.1).
+type Space struct {
+	Layout
+	nprocs int
+	next   Addr
+	homes  map[Page]int // explicit placements (distributed arrays)
+}
+
+// NewSpace creates an address space for a machine of nprocs processors.
+// Address 0 is kept unmapped so that a zero Addr can serve as nil.
+func NewSpace(pageSize, nprocs int) *Space {
+	l := NewLayout(pageSize)
+	return &Space{Layout: l, nprocs: nprocs, next: Addr(pageSize), homes: make(map[Page]int)}
+}
+
+// Alloc reserves n bytes aligned to align (which must be a power of two,
+// at least 1) and returns the base address. Objects are packed — two
+// small objects can share a page, which is exactly how false sharing
+// arises (e.g. TSP's 56-byte path elements).
+func (s *Space) Alloc(n int, align int) Addr {
+	if n <= 0 {
+		panic("vm: Alloc of non-positive size")
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic("vm: bad alignment")
+	}
+	a := (s.next + Addr(align) - 1) &^ (Addr(align) - 1)
+	s.next = a + Addr(n)
+	return a
+}
+
+// AllocPages reserves n bytes starting on a fresh page boundary.
+func (s *Space) AllocPages(n int) Addr {
+	return s.Alloc(n, s.pageSize)
+}
+
+// Brk returns the current top of the allocated space.
+func (s *Space) Brk() Addr { return s.next }
+
+// HomeProc returns the global processor whose memory is home for page p:
+// an explicit placement if one was made, else interleaved by page number.
+func (s *Space) HomeProc(p Page) int {
+	if h, ok := s.homes[p]; ok {
+		return h
+	}
+	return int(uint64(p) % uint64(s.nprocs))
+}
+
+// SetHome places page p's home on the given processor. Alewife's
+// compiler laid distributed arrays out so each block lives in its
+// owner's memory; applications use this for the same effect. Panics if
+// the page has already been placed elsewhere.
+func (s *Space) SetHome(p Page, proc int) {
+	if old, ok := s.homes[p]; ok && old != proc {
+		panic("vm: conflicting home placement")
+	}
+	s.homes[p] = proc
+}
+
+// Rehome moves page p's home (dynamic migration — an extension beyond
+// the paper, whose homes are "fixed for all time").
+func (s *Space) Rehome(p Page, proc int) { s.homes[p] = proc }
+
+// TLB is one processor's software TLB: a small fully-associative map
+// with FIFO replacement. Replacement is deterministic.
+type TLB struct {
+	cap     int
+	entries map[Page]Priv
+	fifo    []Page
+	head    int
+	// Fills counts Insert calls; Evictions counts entries displaced.
+	Fills, Evictions int64
+}
+
+// NewTLB returns a TLB holding up to capacity mappings.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("vm: TLB capacity must be positive")
+	}
+	return &TLB{cap: capacity, entries: make(map[Page]Priv, capacity)}
+}
+
+// Lookup returns the privilege of the mapping for p, or (None, false) on
+// a TLB miss.
+func (t *TLB) Lookup(p Page) (Priv, bool) {
+	pr, ok := t.entries[p]
+	return pr, ok
+}
+
+// Insert fills the mapping for p, evicting the oldest entry if full. It
+// returns the evicted page and true if an eviction happened. Inserting
+// an already-present page just updates its privilege.
+func (t *TLB) Insert(p Page, pr Priv) (Page, bool) {
+	t.Fills++
+	if _, ok := t.entries[p]; ok {
+		t.entries[p] = pr
+		return 0, false
+	}
+	var evicted Page
+	var did bool
+	if len(t.entries) >= t.cap {
+		// Pop FIFO entries until one still maps (others were
+		// invalidated in place).
+		for {
+			old := t.fifo[t.head]
+			t.head++
+			if t.head == len(t.fifo) {
+				t.fifo = t.fifo[:0]
+				t.head = 0
+			}
+			if _, ok := t.entries[old]; ok {
+				delete(t.entries, old)
+				evicted, did = old, true
+				t.Evictions++
+				break
+			}
+		}
+	}
+	t.entries[p] = pr
+	t.fifo = append(t.fifo, p)
+	return evicted, did
+}
+
+// Invalidate removes the mapping for p, reporting whether it existed.
+func (t *TLB) Invalidate(p Page) bool {
+	if _, ok := t.entries[p]; !ok {
+		return false
+	}
+	delete(t.entries, p)
+	return true
+}
+
+// InvalidateAll clears the TLB.
+func (t *TLB) InvalidateAll() {
+	t.entries = make(map[Page]Priv, t.cap)
+	t.fifo = t.fifo[:0]
+	t.head = 0
+}
+
+// Len reports the number of live mappings.
+func (t *TLB) Len() int { return len(t.entries) }
