@@ -1,0 +1,248 @@
+// mgs-bench measures the simulator's host-side performance — the hot
+// paths a sweep spends its wall-clock in — and writes the results to a
+// JSON file for tracking across commits.
+//
+// Usage:
+//
+//	mgs-bench                      # full suite → BENCH_sim.json
+//	mgs-bench -small -out /tmp/b.json
+//	mgs-bench -app water -p 32
+//
+// The microbenchmarks cover the software-TLB lookup, the twin/diff
+// kernel, event dispatch, and the end-to-end shared-memory access fast
+// path. The sweep section times one figure sweep sequentially and with
+// the parallel runner; on a single-core host the two coincide.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mgs/internal/core"
+	"mgs/internal/exp"
+	"mgs/internal/harness"
+	"mgs/internal/sim"
+	"mgs/internal/vm"
+)
+
+// BenchResult is one microbenchmark's outcome.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// SweepResult times one figure sweep under both runners.
+type SweepResult struct {
+	App        string  `json:"app"`
+	P          int     `json:"p"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	SeqSeconds float64 `json:"seq_seconds"`
+	ParSeconds float64 `json:"par_seconds"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the file schema of BENCH_sim.json.
+type Report struct {
+	Benchmarks []BenchResult `json:"benchmarks"`
+	Sweep      SweepResult   `json:"sweep"`
+}
+
+func bench(name string, fn func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(fn)
+	return BenchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// diffPage builds a 1K twin/current pair with the bytes selected by
+// changed mutated.
+func diffPage(changed func(i int) bool) (twin, cur []byte) {
+	twin = make([]byte, 1024)
+	cur = make([]byte, 1024)
+	for i := range twin {
+		twin[i] = byte(i * 7)
+		cur[i] = twin[i]
+		if changed(i) {
+			cur[i] ^= 0xFF
+		}
+	}
+	return twin, cur
+}
+
+var diffSink core.Diff
+
+func benchDiff(changed func(i int) bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		twin, cur := diffPage(changed)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			diffSink = core.ComputeDiff(twin, cur)
+		}
+	}
+}
+
+var privSink vm.Priv
+
+func benchTLB(b *testing.B) {
+	t := vm.NewTLB(64)
+	for i := 0; i < 64; i++ {
+		t.Insert(vm.Page(i), vm.Read)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, _ := t.Lookup(vm.Page(i & 63))
+		privSink = p
+	}
+}
+
+func benchDispatch(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(1, step)
+		}
+	}
+	b.ReportAllocs()
+	e.At(0, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// homedAddr returns an address on a page interleave-homed on processor
+// 0, so proc 0's post-fault accesses stay on the hit path.
+func homedAddr(m *harness.Machine) vm.Addr {
+	va := m.Alloc(2 * m.Cfg.PageSize)
+	if int(m.DSM.Space().PageOf(va))%m.Cfg.P != 0 {
+		va += vm.Addr(m.Cfg.PageSize)
+	}
+	return va
+}
+
+func benchAccess(b *testing.B) {
+	m := harness.NewMachine(harness.DefaultConfig(2, 1))
+	va := homedAddr(m)
+	b.ReportAllocs()
+	if _, err := m.RunPer(func(i int) func(c *harness.Ctx) {
+		if i != 0 {
+			return func(*harness.Ctx) {}
+		}
+		return func(c *harness.Ctx) {
+			c.LoadI64(va)
+			b.ResetTimer()
+			for k := 0; k < b.N; k++ {
+				c.LoadI64(va)
+			}
+			b.StopTimer()
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// checkApp reports whether mk knows the named app (the exp constructors
+// panic on unknown names).
+func checkApp(mk func(string) harness.App, name string) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("unknown app %q", name)
+		}
+	}()
+	mk(name)
+	return nil
+}
+
+// timeSweep runs one figure sweep at the given worker setting and
+// reports the wall-clock plus the summed cycle count (a checksum the
+// caller compares across runner modes).
+func timeSweep(app string, p int, mk func(string) harness.App, w int) (float64, sim.Time, error) {
+	old := harness.SweepWorkers
+	harness.SweepWorkers = w
+	defer func() { harness.SweepWorkers = old }()
+	start := time.Now()
+	points, _, err := exp.FigureSweep(app, p, mk)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sum sim.Time
+	for _, pt := range points {
+		sum += pt.Res.Cycles
+	}
+	return time.Since(start).Seconds(), sum, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mgs-bench: ")
+	var (
+		app   = flag.String("app", "water", "application for the sweep timing")
+		p     = flag.Int("p", 32, "total processors for the sweep timing")
+		small = flag.Bool("small", false, "use reduced problem sizes")
+		out   = flag.String("out", "BENCH_sim.json", "output file")
+	)
+	flag.Parse()
+
+	mk := exp.NewApp
+	if *small {
+		mk = exp.SmallApp
+	}
+	if err := checkApp(mk, *app); err != nil {
+		log.Fatal(err) // fail before the benchmarks burn 20s
+	}
+
+	rep := Report{
+		Benchmarks: []BenchResult{
+			bench("TLBLookup", benchTLB),
+			bench("ComputeDiffClean", benchDiff(func(int) bool { return false })),
+			bench("ComputeDiffSparse", benchDiff(func(i int) bool { return i%128 < 8 })),
+			bench("ComputeDiffDense", benchDiff(func(int) bool { return true })),
+			bench("EngineDispatch", benchDispatch),
+			bench("AccessFastPath", benchAccess),
+		},
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("  %-20s %10.2f ns/op %6d B/op %4d allocs/op\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	seqS, seqSum, err := timeSweep(*app, *p, mk, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parS, parSum, err := timeSweep(*app, *p, mk, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if seqSum != parSum {
+		log.Fatalf("parallel sweep diverged: seq cycles %d, par cycles %d", seqSum, parSum)
+	}
+	rep.Sweep = SweepResult{
+		App: *app, P: *p, GoMaxProcs: runtime.GOMAXPROCS(0),
+		SeqSeconds: seqS, ParSeconds: parS, Speedup: seqS / parS,
+	}
+	fmt.Printf("  sweep %s P=%d: seq %.2fs, par %.2fs (%.2fx, GOMAXPROCS=%d)\n",
+		*app, *p, seqS, parS, seqS/parS, rep.Sweep.GoMaxProcs)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -13,7 +13,9 @@
 //	mgs-sweep -ablation pagesize   [-app tsp] [-c 4]
 //
 // Common flags: -p 32, -small (reduced sizes), -all (figures 6-12),
-// -csv (machine-readable output for plotting).
+// -csv (machine-readable output for plotting), -workers N (concurrent
+// sweep points; 0 = GOMAXPROCS, 1 = sequential — output is identical
+// either way, each point is an independent deterministic simulation).
 package main
 
 import (
@@ -64,9 +66,11 @@ func main() {
 		all      = flag.Bool("all", false, "reproduce Figures 6-12")
 		ablation = flag.String("ablation", "", "ablation: 1writer, serialinv, update, pagesize, mesh, lazy")
 		c        = flag.Int("c", 4, "cluster size for -ablation pagesize")
+		workers  = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.BoolVar(&asCSV, "csv", false, "emit CSV rows instead of formatted tables")
 	flag.Parse()
+	harness.SweepWorkers = *workers
 
 	mk := exp.NewApp
 	if *small {

@@ -1,0 +1,57 @@
+package core
+
+import "testing"
+
+// diffPage builds a 1K twin/current pair with the given set of changed
+// byte offsets.
+func diffPage(changed func(i int) bool) (twin, cur []byte) {
+	const size = 1024
+	twin = make([]byte, size)
+	cur = make([]byte, size)
+	for i := 0; i < size; i++ {
+		twin[i] = byte(i)
+		cur[i] = byte(i)
+		if changed(i) {
+			cur[i] = byte(i) + 1
+		}
+	}
+	return twin, cur
+}
+
+func benchDiff(b *testing.B, changed func(i int) bool) {
+	b.Helper()
+	twin, cur := diffPage(changed)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(cur)))
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		d := ComputeDiff(twin, cur)
+		n += d.Len()
+	}
+	_ = n
+}
+
+// BenchmarkComputeDiffClean scans a page with no changes — the dominant
+// case for read-mostly pages caught in a release round.
+func BenchmarkComputeDiffClean(b *testing.B) {
+	benchDiff(b, func(i int) bool { return false })
+}
+
+// BenchmarkComputeDiffSparse scans a mostly-clean page: one 8-byte
+// write per 128-byte stretch (a typical false-sharing page).
+func BenchmarkComputeDiffSparse(b *testing.B) {
+	benchDiff(b, func(i int) bool { return i%128 < 8 })
+}
+
+// BenchmarkComputeDiffDense scans a page where every word changed (a
+// fully rewritten page).
+func BenchmarkComputeDiffDense(b *testing.B) {
+	benchDiff(b, func(i int) bool { return true })
+}
+
+// BenchmarkComputeDiffAlternating is the worst case for range
+// coalescing: every other byte changed, one range per changed byte.
+func BenchmarkComputeDiffAlternating(b *testing.B) {
+	benchDiff(b, func(i int) bool { return i%2 == 0 })
+}

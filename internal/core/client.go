@@ -133,7 +133,7 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 		isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
 		if !isHome {
 			at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.TwinPerByte)
-			cp.twin = cp.frame.Snapshot()
+			cp.twin = s.newTwin(cp.frame)
 			s.st.Count("twin", 1)
 		}
 		cp.state = PWrite

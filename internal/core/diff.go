@@ -1,5 +1,7 @@
 package core
 
+import "encoding/binary"
+
 // Munin-style twin/diff machinery (paper §3.1.1). When an SSMP obtains
 // write privilege on a page it snapshots the page (the twin). At
 // invalidation time the protocol compares the current page against the
@@ -15,31 +17,77 @@ type DiffRange struct {
 }
 
 // Diff is the set of changed ranges of one page, in ascending offset
-// order.
+// order. All ranges of one Diff share a single backing buffer.
 type Diff []DiffRange
+
+// Word-wise scan constants: x-lo&^x&hi is nonzero iff the word x has a
+// zero byte (exact — borrows only occur past a zero byte).
+const (
+	zlo = 0x0101010101010101
+	zhi = 0x8080808080808080
+)
 
 // ComputeDiff compares the current page contents against its twin and
 // returns the changed ranges (with the current values). Adjacent changed
 // bytes coalesce into one range.
+//
+// The scan compares eight bytes at a time: equal stretches skip by
+// whole words, changed stretches extend by whole words while every byte
+// of the word differs, and only the boundary word of a run is examined
+// byte by byte. The range payloads are carved from one shared buffer —
+// one allocation per diff, not one per changed run. The ranges produced
+// are byte-identical to a plain byte-at-a-time scan, so message sizes
+// and protocol costs are unchanged.
 func ComputeDiff(twin, cur []byte) Diff {
 	if len(twin) != len(cur) {
 		panic("core: twin/page size mismatch")
 	}
+	n := len(cur)
 	var d Diff
+	total := 0
 	i := 0
-	for i < len(cur) {
-		if twin[i] == cur[i] {
-			i++
-			continue
+	for i < n {
+		// Skip the equal prefix a word at a time, then finish the
+		// partial word byte-wise.
+		for i+8 <= n && binary.LittleEndian.Uint64(twin[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+			i += 8
 		}
+		for i < n && twin[i] == cur[i] {
+			i++
+		}
+		if i == n {
+			break
+		}
+		// Extend the changed run: whole words while all eight bytes
+		// differ (the XOR has no zero byte), byte-wise at the boundary.
 		j := i + 1
-		for j < len(cur) && twin[j] != cur[j] {
+		for j < n {
+			if j+8 <= n {
+				x := binary.LittleEndian.Uint64(twin[j:]) ^ binary.LittleEndian.Uint64(cur[j:])
+				if x != 0 && (x-zlo)&^x&zhi == 0 {
+					j += 8
+					continue
+				}
+			}
+			if twin[j] == cur[j] {
+				break
+			}
 			j++
 		}
-		data := make([]byte, j-i)
-		copy(data, cur[i:j])
-		d = append(d, DiffRange{Off: i, Data: data})
+		// Record the run; Data temporarily aliases cur until the shared
+		// buffer is carved below.
+		d = append(d, DiffRange{Off: i, Data: cur[i:j]})
+		total += j - i
 		i = j
+	}
+	if total > 0 {
+		buf := make([]byte, total)
+		pos := 0
+		for k := range d {
+			m := copy(buf[pos:pos+len(d[k].Data)], d[k].Data)
+			d[k].Data = buf[pos : pos+m : pos+m]
+			pos += m
+		}
 	}
 	return d
 }

@@ -86,6 +86,81 @@ func TestDiffDisjointMergeProperty(t *testing.T) {
 	}
 }
 
+// referenceDiff is the plain byte-at-a-time scan the word-wise
+// ComputeDiff must match range-for-range (range structure feeds the
+// protocol's message-size accounting, so equivalence is a determinism
+// requirement, not just a data-correctness one).
+func referenceDiff(twin, cur []byte) Diff {
+	var d Diff
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && twin[j] != cur[j] {
+			j++
+		}
+		data := make([]byte, j-i)
+		copy(data, cur[i:j])
+		d = append(d, DiffRange{Off: i, Data: data})
+		i = j
+	}
+	return d
+}
+
+// Property: the word-wise scan produces ranges byte-identical to the
+// reference byte scan, across page sizes that exercise word-boundary
+// tails.
+func TestComputeDiffMatchesReference(t *testing.T) {
+	f := func(seed int64, nmut uint8, szSel uint8) bool {
+		sizes := []int{1, 7, 8, 9, 15, 16, 63, 64, 256, 1024}
+		size := sizes[int(szSel)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, size)
+		rng.Read(twin)
+		cur := append([]byte(nil), twin...)
+		for i := 0; i < int(nmut); i++ {
+			cur[rng.Intn(size)] = byte(rng.Int())
+		}
+		got := ComputeDiff(twin, cur)
+		want := referenceDiff(twin, cur)
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			if got[k].Off != want[k].Off || !bytes.Equal(got[k].Data, want[k].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A fully-rewritten page must come back as one whole-page range.
+func TestComputeDiffDensePage(t *testing.T) {
+	twin := make([]byte, 1024)
+	cur := make([]byte, 1024)
+	for i := range cur {
+		cur[i] = byte(i) | 1
+		twin[i] = byte(i) &^ 1
+		if twin[i] == cur[i] {
+			cur[i] ^= 0xFF
+		}
+	}
+	d := ComputeDiff(twin, cur)
+	if len(d) != 1 || d[0].Off != 0 || len(d[0].Data) != 1024 {
+		t.Fatalf("dense diff = %d ranges, first %+v", len(d), d[0].Off)
+	}
+	if !bytes.Equal(d[0].Data, cur) {
+		t.Fatal("dense diff data mismatch")
+	}
+}
+
 func TestDiffSizeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

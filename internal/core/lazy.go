@@ -89,7 +89,7 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 			bytes += diff.Bytes(c.DiffHdrByte)
 			// Demote to a read copy: reads keep hitting the local frame,
 			// the next write upgrades and re-twins.
-			cp.twin = nil
+			s.recycleTwin(cp)
 			cp.state = PRead
 			s.shootLocal(ss, cp, p)
 			s.st.Count("lrel", 1)

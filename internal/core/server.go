@@ -109,7 +109,7 @@ func (s *System) onData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool,
 	if write {
 		if !isHome {
 			at = s.net.Extend(p.ID, at, sim.Time(s.cfg.PageSize)*c.TwinPerByte)
-			cp.twin = cp.frame.Snapshot()
+			cp.twin = s.newTwin(cp.frame)
 			s.st.Count("twin", 1)
 		}
 		cp.state = PWrite
@@ -346,7 +346,7 @@ func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
 		if cp.state == PWrite && !isHome {
 			at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
 			d = ComputeDiff(cp.twin, cp.frame.Data)
-			cp.twin = cp.frame.Snapshot()
+			s.retwin(cp)
 			s.st.Count("upd.diff", 1)
 		}
 		cp.tlbDir = 0
@@ -370,7 +370,7 @@ func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
 		if !isHome {
 			d = ComputeDiff(cp.twin, cp.frame.Data)
 		}
-		cp.twin = cp.frame.Snapshot()
+		s.retwin(cp)
 		cp.tlbDir = 0
 		s.st.Count("1wdata", 1)
 		s.replyInv(sp, o, oneWReply, d, at)
@@ -406,7 +406,7 @@ func (s *System) teardown(ss *ssmpState, cp *clientPage, isHome bool) {
 	ss.domain.Unregister(cp.frame)
 	cp.frame = nil
 	cp.dir = nil
-	cp.twin = nil
+	s.recycleTwin(cp)
 	cp.tlbDir = 0
 	cp.state = PInv
 	cp.gen++ // a refetched copy is a new incarnation (lazy versioning)
@@ -612,7 +612,7 @@ func (s *System) sendRefresh(sp *serverPage, r int, img []byte, at sim.Time) {
 						local := ComputeDiff(cp.twin, cp.frame.Data)
 						cp.frame.CopyFrom(img)
 						local.Apply(cp.frame.Data)
-						cp.twin = append([]byte(nil), img...)
+						copy(cp.twin, img)
 					} else {
 						cp.frame.CopyFrom(img)
 					}
@@ -647,7 +647,7 @@ func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
 		hcp.tlbDir = 0
 		hcp.frame = nil
 		hcp.dir = nil
-		hcp.twin = nil
+		s.recycleTwin(hcp)
 		hcp.state = PInv
 	}
 	sp.homeProc = newHome

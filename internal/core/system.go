@@ -115,6 +115,14 @@ type clientPage struct {
 	invOneW  bool // current invalidation is a 1WINV
 }
 
+// accEntry caches one processor's last successful translation.
+type accEntry struct {
+	page vm.Page
+	priv vm.Priv
+	cp   *clientPage
+	gen  uint64 // TLB generation the entry was filled at
+}
+
 // invTarget is one SSMP to invalidate in a release round.
 type invTarget struct {
 	ssmp int
@@ -166,6 +174,17 @@ type System struct {
 	ssmps   []*ssmpState
 	servers map[vm.Page]*serverPage
 
+	// acc is the per-processor last-translation micro-cache: the result
+	// of the last successful TLB lookup, revalidated against the TLB
+	// generation so any shootdown, fill, or privilege change drops it.
+	// It removes both the TLB probe and the SSMP page-map lookup from
+	// the common case of consecutive accesses to one page.
+	acc []accEntry
+
+	// pageBufs is a free list of page-size buffers reused for twins, so
+	// steady-state twinning does not allocate.
+	pageBufs [][]byte
+
 	// TraceFn, if set, receives a line per protocol event (tests/tools).
 	TraceFn func(format string, args ...any)
 	// DebugChecks enables extra invariant checking on hot paths (tests).
@@ -198,6 +217,7 @@ func New(eng *sim.Engine, net *msg.Network, space *vm.Space, st *stats.Collector
 		frames:  mem.NewFrameAllocator(cfg.PageSize),
 		tlbs:    make([]*vm.TLB, cfg.NProcs),
 		servers: make(map[vm.Page]*serverPage),
+		acc:     make([]accEntry, cfg.NProcs),
 	}
 	nssmp := cfg.NProcs / cfg.ClusterSize
 	for i := 0; i < cfg.NProcs; i++ {
@@ -245,6 +265,38 @@ func (s *System) parkCharge(p *sim.Proc, cat stats.Category) {
 		s.trace("t=%d LONGPARK proc=%d cat=%v wait=%d", p.Clock(), p.ID, cat, p.Clock()-c0)
 	}
 	s.st.Charge(p.ID, cat, p.Clock()-c0)
+}
+
+// newTwin snapshots f into a page-size buffer drawn from the free list.
+func (s *System) newTwin(f *mem.Frame) []byte {
+	var b []byte
+	if n := len(s.pageBufs); n > 0 {
+		b = s.pageBufs[n-1]
+		s.pageBufs = s.pageBufs[:n-1]
+	} else {
+		b = make([]byte, s.cfg.PageSize)
+	}
+	copy(b, f.Data)
+	return b
+}
+
+// retwin refreshes cp's twin to the current frame contents, reusing the
+// existing buffer when one is present.
+func (s *System) retwin(cp *clientPage) {
+	if cp.twin == nil {
+		cp.twin = s.newTwin(cp.frame)
+		return
+	}
+	copy(cp.twin, cp.frame.Data)
+}
+
+// recycleTwin returns cp's twin buffer (if any) to the free list. Diffs
+// never alias twin storage, so a recycled buffer has no live readers.
+func (s *System) recycleTwin(cp *clientPage) {
+	if cp.twin != nil {
+		s.pageBufs = append(s.pageBufs, cp.twin)
+		cp.twin = nil
+	}
 }
 
 // ensurePage returns (creating if needed) the SSMP's record for page v.
@@ -297,6 +349,11 @@ func (s *System) BackdoorLoad64(va vm.Addr) uint64 {
 // hardware coherence cost, and returns the frame and byte offset the
 // caller should read or write. pointer selects the more expensive
 // pointer-dereference translation sequence.
+//
+// Fast-path invariant: an access whose translation hits (micro-cache or
+// TLB) performs no heap allocation. The micro-cache is purely a host
+// optimization — it caches the result the TLB lookup would produce, so
+// simulated costs and protocol behavior are identical either way.
 func (s *System) Access(p *sim.Proc, va vm.Addr, write, pointer bool) (*mem.Frame, int) {
 	page := s.space.PageOf(va)
 	off := s.space.Offset(va)
@@ -306,10 +363,18 @@ func (s *System) Access(p *sim.Proc, va vm.Addr, write, pointer bool) (*mem.Fram
 	}
 	ss := s.ssmps[s.ssmpOf(p.ID)]
 	tlb := s.tlbs[p.ID]
+	ac := &s.acc[p.ID]
 	for {
 		s.spend(p, stats.User, tc)
-		if priv, ok := tlb.Lookup(page); ok && (priv == vm.Write || !write) {
-			cp := ss.pages[page]
+		var cp *clientPage
+		if ac.cp != nil && ac.page == page && ac.gen == tlb.Gen() &&
+			(ac.priv == vm.Write || !write) {
+			cp = ac.cp
+		} else if priv, ok := tlb.Lookup(page); ok && (priv == vm.Write || !write) {
+			cp = ss.pages[page]
+			*ac = accEntry{page: page, priv: priv, cp: cp, gen: tlb.Gen()}
+		}
+		if cp != nil {
 			cost, _ := ss.domain.Access(s.within(p.ID), cp.frame, cp.dir, off, write)
 			s.spend(p, stats.User, cost)
 			return cp.frame, off

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"mgs/internal/harness"
+)
+
+// The sweeps must be bit-for-bit reproducible: rerunning a sweep gives
+// identical per-point cycle counts and breakdowns, and running points
+// concurrently gives exactly what the sequential loop gives. Anything
+// less means host-side scheduling leaked into simulated time.
+
+func TestFigureSweepReproducible(t *testing.T) {
+	a, ma, err := FigureSweep("jacobi", 8, SmallApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, mb, err := FigureSweep("jacobi", 8, SmallApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sweep not reproducible:\nrun1 %+v\nrun2 %+v", a, b)
+	}
+	if !reflect.DeepEqual(ma, mb) {
+		t.Fatalf("framework metrics not reproducible: %+v vs %+v", ma, mb)
+	}
+}
+
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	mk := func() harness.App { return SmallApp("water") }
+	cfgFor := func(c int) harness.Config { return Config(8, c) }
+	cs := harness.PowersOfTwo(8)
+
+	seq, err := harness.SweepSeq(mk, 8, cs, cfgFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := harness.SweepWorkers
+	harness.SweepWorkers = 4
+	defer func() { harness.SweepWorkers = old }()
+	par, err := harness.Sweep(mk, 8, cs, cfgFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel sweep diverges from sequential:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestTable4Reproducible(t *testing.T) {
+	old := harness.SweepWorkers
+	harness.SweepWorkers = 4
+	defer func() { harness.SweepWorkers = old }()
+	a, err := Table4(4, SmallApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harness.SweepWorkers = 1
+	b, err := Table4(4, SmallApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Table 4 depends on worker count:\npar %+v\nseq %+v", a, b)
+	}
+}

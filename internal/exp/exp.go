@@ -80,18 +80,35 @@ type Table4Row struct {
 
 // Table4 reports sequential runtime and tightly-coupled speedup per
 // application (Table 4). mk selects the instance size (NewApp or
-// SmallApp).
+// SmallApp). The 2·len(AppNames) runs are independent simulations and
+// execute concurrently (harness.SweepWorkers governs the width).
 func Table4(p int, mk func(string) harness.App) ([]Table4Row, error) {
+	n := len(AppNames)
+	runs := make([]harness.Result, 2*n) // [2k] = seq, [2k+1] = par
+	errs := harness.RunIndexed(2*n, func(i int) error {
+		name := AppNames[i/2]
+		var err error
+		if i%2 == 0 {
+			runs[i], err = harness.RunApp(mk(name), Config(1, 1))
+			if err != nil {
+				return fmt.Errorf("table4 %s seq: %w", name, err)
+			}
+		} else {
+			runs[i], err = harness.RunApp(mk(name), Config(p, p))
+			if err != nil {
+				return fmt.Errorf("table4 %s par: %w", name, err)
+			}
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	var rows []Table4Row
-	for _, name := range AppNames {
-		seq, err := harness.RunApp(mk(name), Config(1, 1))
-		if err != nil {
-			return nil, fmt.Errorf("table4 %s seq: %w", name, err)
-		}
-		par, err := harness.RunApp(mk(name), Config(p, p))
-		if err != nil {
-			return nil, fmt.Errorf("table4 %s par: %w", name, err)
-		}
+	for k, name := range AppNames {
+		seq, par := runs[2*k], runs[2*k+1]
 		rows = append(rows, Table4Row{
 			App: name, Seq: seq.Cycles, Par: par.Cycles,
 			Speedup: float64(seq.Cycles) / float64(par.Cycles),
@@ -140,18 +157,28 @@ type HitPoint struct {
 // size for the lock-using applications. The C = P point is excluded (no
 // MGS locks run there), as in the figure.
 func LockHitSweep(names []string, p int, mk func(string) harness.App) (map[string][]HitPoint, error) {
+	cs := harness.PowersOfTwo(p / 2)
+	ratios := make([]float64, len(names)*len(cs))
+	errs := harness.RunIndexed(len(ratios), func(i int) error {
+		name, c := names[i/len(cs)], cs[i%len(cs)]
+		res, err := harness.RunApp(mk(name), Config(p, c))
+		if err != nil {
+			return fmt.Errorf("fig11 %s C=%d: %w", name, c, err)
+		}
+		if res.LockTotal > 0 {
+			ratios[i] = float64(res.LockHits) / float64(res.LockTotal)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := make(map[string][]HitPoint)
-	for _, name := range names {
-		for _, c := range harness.PowersOfTwo(p / 2) {
-			res, err := harness.RunApp(mk(name), Config(p, c))
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s C=%d: %w", name, c, err)
-			}
-			ratio := 0.0
-			if res.LockTotal > 0 {
-				ratio = float64(res.LockHits) / float64(res.LockTotal)
-			}
-			out[name] = append(out[name], HitPoint{C: c, Ratio: ratio})
+	for i, name := range names {
+		for j, c := range cs {
+			out[name] = append(out[name], HitPoint{C: c, Ratio: ratios[i*len(cs)+j]})
 		}
 	}
 	return out, nil
@@ -221,15 +248,21 @@ type PageSizePoint struct {
 // sizes (§2.2's grain trade-off: larger pages amortize protocol
 // overhead but aggravate false sharing).
 func AblationPageSize(name string, p, c int, sizes []int, mk func(string) harness.App) ([]PageSizePoint, error) {
-	var out []PageSizePoint
-	for _, ps := range sizes {
+	out := make([]PageSizePoint, len(sizes))
+	errs := harness.RunIndexed(len(sizes), func(i int) error {
 		cfg := Config(p, c)
-		cfg.PageSize = ps
+		cfg.PageSize = sizes[i]
 		res, err := harness.RunApp(mk(name), cfg)
 		if err != nil {
-			return nil, fmt.Errorf("pagesize %d: %w", ps, err)
+			return fmt.Errorf("pagesize %d: %w", sizes[i], err)
 		}
-		out = append(out, PageSizePoint{PageSize: ps, Cycles: res.Cycles})
+		out[i] = PageSizePoint{PageSize: sizes[i], Cycles: res.Cycles}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

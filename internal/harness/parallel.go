@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepWorkers caps the number of simulations run concurrently by Sweep
+// and RunIndexed. Zero (the default) means GOMAXPROCS; one forces
+// sequential execution. Each sweep point is a self-contained Engine with
+// no shared mutable state, so running points concurrently cannot change
+// any point's simulated outcome — results are bit-identical to a
+// sequential run at any worker count (the determinism tests in
+// internal/exp enforce this).
+var SweepWorkers = 0
+
+// workers resolves SweepWorkers against the job count.
+func workers(n int) int {
+	w := SweepWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunIndexed runs job(0) … job(n-1) across up to SweepWorkers
+// goroutines and returns the per-index errors. Jobs are claimed from an
+// atomic counter, so low indices start first; callers index their own
+// result slices, so output order never depends on completion order.
+// With one worker the jobs run inline on the calling goroutine.
+func RunIndexed(n int, job func(i int) error) []error {
+	errs := make([]error, n)
+	w := workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = job(i)
+		}
+		return errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}

@@ -34,6 +34,7 @@ func (q *eventQueue) Pop() event {
 	top := q.ev[0]
 	n := len(q.ev) - 1
 	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // clear so dispatched closures become collectable
 	q.ev = q.ev[:n]
 	if n > 0 {
 		q.siftDown(0)

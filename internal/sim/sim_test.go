@@ -31,6 +31,23 @@ func TestEventQueueOrdersByTimeThenSeq(t *testing.T) {
 	}
 }
 
+// Pop must zero the vacated tail slot: the slot keeps its backing array
+// position alive, and a stale fn closure there pins everything the
+// closure captured (procs, pages, buffers) for the life of the queue.
+func TestEventQueuePopClearsTailSlot(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 4; i++ {
+		q.Push(event{t: Time(i), seq: uint64(i), fn: func() {}})
+	}
+	for q.Len() > 0 {
+		n := q.Len() - 1
+		q.Pop()
+		if got := q.ev[:n+1][n]; got.fn != nil || got.t != 0 || got.seq != 0 {
+			t.Fatalf("vacated slot %d not cleared: %+v", n, got)
+		}
+	}
+}
+
 func TestEventQueuePropertySorted(t *testing.T) {
 	f := func(raw []int16) bool {
 		var q eventQueue

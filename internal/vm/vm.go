@@ -137,13 +137,39 @@ func (s *Space) SetHome(p Page, proc int) {
 // the paper, whose homes are "fixed for all time").
 func (s *Space) Rehome(p Page, proc int) { s.homes[p] = proc }
 
-// TLB is one processor's software TLB: a small fully-associative map
-// with FIFO replacement. Replacement is deterministic.
+// tlbSlot is one open-addressing slot.
+type tlbSlot struct {
+	page  Page
+	priv  Priv
+	state uint8 // slotEmpty, slotFull, or slotDead
+}
+
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotDead // tombstone: invalidated, probe chains continue through it
+)
+
+// TLB is one processor's software TLB: a small fully-associative
+// structure with FIFO replacement. Replacement is deterministic.
+//
+// The mapping table is a fixed-capacity open-addressed hash table
+// (linear probing, Fibonacci hashing, tombstoned deletes) rather than a
+// Go map: Lookup sits on the simulator's hottest path — it runs once
+// per simulated memory access — and the array probe is both faster than
+// the map and allocation-free. The table is sized to at least 4×
+// capacity so probe chains stay short; tombstones are compacted in
+// place when they accumulate.
 type TLB struct {
-	cap     int
-	entries map[Page]Priv
-	fifo    []Page
-	head    int
+	cap   int
+	shift uint // 64 - log2(len(slots)), for Fibonacci hashing
+	slots []tlbSlot
+	spare []tlbSlot // compaction scratch, swapped with slots
+	live  int       // slots in state slotFull
+	dead  int       // tombstones
+	fifo  []Page
+	head  int
+	gen   uint64 // bumped on every mapping change (micro-cache validation)
 	// Fills counts Insert calls; Evictions counts entries displaced.
 	Fills, Evictions int64
 }
@@ -153,14 +179,113 @@ func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		panic("vm: TLB capacity must be positive")
 	}
-	return &TLB{cap: capacity, entries: make(map[Page]Priv, capacity)}
+	size := 8
+	for size < 4*capacity {
+		size *= 2
+	}
+	shift := uint(64)
+	for 1<<(64-shift) < size {
+		shift--
+	}
+	return &TLB{cap: capacity, shift: shift, slots: make([]tlbSlot, size)}
 }
+
+// hash spreads page numbers over the table (Fibonacci hashing: the
+// multiplier is 2^64 / φ, odd, so all 64 input bits reach the top bits
+// the shift keeps).
+func (t *TLB) hash(p Page) uint64 {
+	return (uint64(p) * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+// Gen returns the mapping generation: any Insert, Invalidate, or
+// InvalidateAll that changes the mapping set bumps it. Callers caching
+// translation results revalidate against it.
+func (t *TLB) Gen() uint64 { return t.gen }
 
 // Lookup returns the privilege of the mapping for p, or (None, false) on
 // a TLB miss.
 func (t *TLB) Lookup(p Page) (Priv, bool) {
-	pr, ok := t.entries[p]
-	return pr, ok
+	mask := uint64(len(t.slots) - 1)
+	for i := t.hash(p); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.state == slotEmpty {
+			return None, false
+		}
+		if s.state == slotFull && s.page == p {
+			return s.priv, true
+		}
+	}
+}
+
+// find returns the slot index holding p, or -1.
+func (t *TLB) find(p Page) int {
+	mask := uint64(len(t.slots) - 1)
+	for i := t.hash(p); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.state == slotEmpty {
+			return -1
+		}
+		if s.state == slotFull && s.page == p {
+			return int(i)
+		}
+	}
+}
+
+// place stores a new mapping, reusing the first tombstone on p's probe
+// chain if one exists. The caller guarantees p is absent and live < cap.
+func (t *TLB) place(p Page, pr Priv) {
+	mask := uint64(len(t.slots) - 1)
+	target := -1
+	for i := t.hash(p); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.state == slotDead && target < 0 {
+			target = int(i)
+		}
+		if s.state == slotEmpty {
+			if target < 0 {
+				target = int(i)
+			}
+			break
+		}
+	}
+	s := &t.slots[target]
+	if s.state == slotDead {
+		t.dead--
+	}
+	*s = tlbSlot{page: p, priv: pr, state: slotFull}
+	t.live++
+	// Compact when tombstones choke the probe chains. Rebuilding from a
+	// deterministic slot scan keeps runs reproducible.
+	if t.live+t.dead > len(t.slots)*3/4 {
+		t.compact()
+	}
+}
+
+// compact rebuilds the table without tombstones, swapping into the
+// spare buffer so steady-state compaction never allocates.
+func (t *TLB) compact() {
+	old := t.slots
+	if t.spare == nil {
+		t.spare = make([]tlbSlot, len(old))
+	}
+	t.slots = t.spare
+	t.spare = old
+	for i := range t.slots {
+		t.slots[i] = tlbSlot{}
+	}
+	t.live, t.dead = 0, 0
+	mask := uint64(len(t.slots) - 1)
+	for _, s := range old {
+		if s.state != slotFull {
+			continue
+		}
+		i := t.hash(s.page)
+		for t.slots[i].state == slotFull {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+		t.live++
+	}
 }
 
 // Insert fills the mapping for p, evicting the oldest entry if full. It
@@ -168,13 +293,14 @@ func (t *TLB) Lookup(p Page) (Priv, bool) {
 // an already-present page just updates its privilege.
 func (t *TLB) Insert(p Page, pr Priv) (Page, bool) {
 	t.Fills++
-	if _, ok := t.entries[p]; ok {
-		t.entries[p] = pr
+	t.gen++
+	if i := t.find(p); i >= 0 {
+		t.slots[i].priv = pr
 		return 0, false
 	}
 	var evicted Page
 	var did bool
-	if len(t.entries) >= t.cap {
+	if t.live >= t.cap {
 		// Pop FIFO entries until one still maps (others were
 		// invalidated in place).
 		for {
@@ -184,34 +310,51 @@ func (t *TLB) Insert(p Page, pr Priv) (Page, bool) {
 				t.fifo = t.fifo[:0]
 				t.head = 0
 			}
-			if _, ok := t.entries[old]; ok {
-				delete(t.entries, old)
+			if i := t.find(old); i >= 0 {
+				t.slots[i].state = slotDead
+				t.live--
+				t.dead++
 				evicted, did = old, true
 				t.Evictions++
 				break
 			}
 		}
 	}
-	t.entries[p] = pr
+	t.place(p, pr)
+	// Slide the FIFO down once the dead prefix dominates, so the queue's
+	// backing array stays bounded by the live population.
+	if t.head > 16 && t.head*2 >= len(t.fifo) {
+		n := copy(t.fifo, t.fifo[t.head:])
+		t.fifo = t.fifo[:n]
+		t.head = 0
+	}
 	t.fifo = append(t.fifo, p)
 	return evicted, did
 }
 
 // Invalidate removes the mapping for p, reporting whether it existed.
 func (t *TLB) Invalidate(p Page) bool {
-	if _, ok := t.entries[p]; !ok {
+	i := t.find(p)
+	if i < 0 {
 		return false
 	}
-	delete(t.entries, p)
+	t.slots[i].state = slotDead
+	t.live--
+	t.dead++
+	t.gen++
 	return true
 }
 
 // InvalidateAll clears the TLB.
 func (t *TLB) InvalidateAll() {
-	t.entries = make(map[Page]Priv, t.cap)
+	for i := range t.slots {
+		t.slots[i] = tlbSlot{}
+	}
+	t.live, t.dead = 0, 0
 	t.fifo = t.fifo[:0]
 	t.head = 0
+	t.gen++
 }
 
 // Len reports the number of live mappings.
-func (t *TLB) Len() int { return len(t.entries) }
+func (t *TLB) Len() int { return t.live }
