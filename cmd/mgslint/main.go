@@ -1,0 +1,358 @@
+// Command mgslint runs the internal/lint analyzer suite (see DESIGN.md
+// §"Static invariants"). It operates in two modes:
+//
+// Standalone, for CI and local use:
+//
+//	mgslint [-json] [packages...]
+//
+// resolves the package patterns (default ./...) with `go list`, builds
+// export data for every dependency with `go list -export -deps`, then
+// type-checks and analyzes each target package. Diagnostics go to
+// stdout (plain or, with -json, as a JSON array); the exit status is 1
+// if any diagnostic fired and 0 otherwise.
+//
+// Vettool, speaking cmd/go's unitchecker protocol:
+//
+//	go vet -vettool=$(command -v mgslint) ./...
+//
+// cmd/go probes the tool with -V=full (cache key) and -flags (accepted
+// flags), then invokes it once per package with a single *.cfg argument
+// describing the compilation unit. Diagnostics go to stderr and the
+// exit status is 2, matching golang.org/x/tools/go/analysis/unitchecker
+// (which this reimplements on the standard library alone, because the
+// module cache does not carry x/tools).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"mgs/internal/lint"
+	"mgs/internal/lint/analysis"
+)
+
+func main() {
+	// cmd/go's vettool probes come before flag parsing.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		printFlagDefs()
+		return
+	}
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+	os.Exit(runStandalone(args, *jsonOut))
+}
+
+// printVersion answers -V=full. cmd/go parses "<name> version <...>"
+// and folds the whole line into its action cache key, so the hash of
+// the executable itself is included: rebuilding mgslint invalidates
+// cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("mgslint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// printFlagDefs answers -flags: the JSON flag inventory cmd/go uses to
+// decide which `go vet` flags it may forward to the tool.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []flagDef{{Name: "json", Bool: true, Usage: "emit diagnostics as a JSON array on stdout"}}
+	json.NewEncoder(os.Stdout).Encode(defs)
+}
+
+// ---------------------------------------------------------------------
+// Vettool mode: the unitchecker protocol.
+
+// vetConfig is the compilation-unit description cmd/go writes to the
+// *.cfg file (a subset of the fields; unknown ones are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+		return 1
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mgslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the facts file to exist even though mgslint's
+	// analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // analyzed only for facts needed by dependents: nothing to do
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return typecheckFailed(cfg, err)
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := &mapImporter{
+		importMap: cfg.ImportMap,
+		gc: importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+	}
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(cfg, err)
+	}
+	diags, err := lint.RunPackage(fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgslint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckFailed handles parse/type errors under the protocol: when
+// cmd/go knows the package is otherwise being compiled it sets
+// SucceedOnTypecheckFailure so the compiler, not the vet tool, reports
+// the error.
+func typecheckFailed(cfg *vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "mgslint: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+// mapImporter resolves import paths through the unit's ImportMap
+// (vendoring, test variants) before delegating to the gc importer's
+// export-data lookup.
+type mapImporter struct {
+	importMap map[string]string
+	gc        types.Importer
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if canon, ok := m.importMap[path]; ok {
+		path = canon
+	}
+	return m.gc.Import(path)
+}
+
+// ---------------------------------------------------------------------
+// Standalone mode: resolve packages with the go tool, analyze in-process.
+
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Compile every dependency once and harvest export data; the build
+	// cache makes repeat runs cheap.
+	exports := map[string]string{}
+	type exportPkg struct{ ImportPath, Export string }
+	if err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...),
+		func(dec *json.Decoder) error {
+			var p exportPkg
+			if err := dec.Decode(&p); err != nil {
+				return err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			return nil
+		}); err != nil {
+		fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+		return 1
+	}
+
+	type targetPkg struct {
+		ImportPath string
+		Dir        string
+		GoFiles    []string
+		Standard   bool
+	}
+	var targets []targetPkg
+	if err := goList(append([]string{"-json=ImportPath,Dir,GoFiles,Standard"}, patterns...),
+		func(dec *json.Decoder) error {
+			var p targetPkg
+			if err := dec.Decode(&p); err != nil {
+				return err
+			}
+			if !p.Standard {
+				targets = append(targets, p)
+			}
+			return nil
+		}); err != nil {
+		fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	imp := &mapImporter{gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})}
+
+	exit := 0
+	var all []jsonDiag
+	for _, t := range targets {
+		var files []*ast.File
+		parseOK := true
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+				exit, parseOK = 1, false
+				break
+			}
+			files = append(files, f)
+		}
+		if !parseOK || len(files) == 0 {
+			continue
+		}
+		info := lint.NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgslint: %s: %v\n", t.ImportPath, err)
+			exit = 1
+			continue
+		}
+		diags, err := lint.RunPackage(fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgslint: %s: %v\n", t.ImportPath, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			all = append(all, toJSONDiag(fset, d))
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		enc.Encode(all)
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(all) > 0 && exit == 0 {
+		exit = 1
+	}
+	return exit
+}
+
+func toJSONDiag(fset *token.FileSet, d analysis.Diagnostic) jsonDiag {
+	pos := fset.Position(d.Pos)
+	file := pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return jsonDiag{Analyzer: d.Analyzer, File: file, Line: pos.Line, Col: pos.Column, Message: d.Message}
+}
+
+// goList streams `go list <args>` output through decode.
+func goList(args []string, decode func(*json.Decoder) error) error {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(out)
+	for dec.More() {
+		if err := decode(dec); err != nil {
+			cmd.Wait()
+			return err
+		}
+	}
+	return cmd.Wait()
+}

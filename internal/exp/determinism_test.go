@@ -52,6 +52,36 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerCountInvariance pins the worker-pool contract that
+// nogoroutine's allow annotation in harness/parallel.go relies on: the
+// pool's output is a pure function of the inputs, identical for any
+// worker count. Run under -race (CI does) it also exercises the pool
+// for data races at several fan-out widths.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	mk := func() harness.App { return SmallApp("water") }
+	cfgFor := func(c int) harness.Config { return Config(8, c) }
+	cs := harness.PowersOfTwo(8)
+
+	old := harness.SweepWorkers
+	defer func() { harness.SweepWorkers = old }()
+
+	var base []harness.SweepPoint
+	for _, w := range []int{1, 4, 16} {
+		harness.SweepWorkers = w
+		got, err := harness.Sweep(mk, 8, cs, cfgFor)
+		if err != nil {
+			t.Fatalf("SweepWorkers=%d: %v", w, err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("sweep output depends on worker count:\nworkers=1  %+v\nworkers=%d %+v", base, w, got)
+		}
+	}
+}
+
 func TestTable4Reproducible(t *testing.T) {
 	old := harness.SweepWorkers
 	harness.SweepWorkers = 4

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"mgs/internal/lint/analysis"
+)
+
+// The escape hatch. A comment of the form
+//
+//	//mgslint:allow <name>[,<name>...] -- <justification>
+//
+// suppresses diagnostics from the named analyzers (or "all") on the
+// comment's own line and on the line immediately below it, so both
+// trailing and line-above placement work. The justification after the
+// "--" separator is mandatory: an allow that does not say *why* the
+// exception is sound is itself a diagnostic, and suppresses nothing.
+
+const allowPrefix = "//mgslint:allow"
+
+type allowSite struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers map[string]bool // names, or "all"
+	justified bool
+	badNames  []string // names not matching any registered analyzer
+}
+
+// parseAllows extracts every //mgslint:allow comment in files.
+func parseAllows(fset *token.FileSet, files []*ast.File) []allowSite {
+	var sites []allowSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				site := allowSite{
+					pos:       c.Pos(),
+					file:      fset.Position(c.Pos()).Filename,
+					line:      fset.Position(c.Pos()).Line,
+					analyzers: map[string]bool{},
+				}
+				names := rest
+				if i := strings.Index(rest, "--"); i >= 0 {
+					names = rest[:i]
+					site.justified = strings.TrimSpace(rest[i+2:]) != ""
+				}
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					site.analyzers[n] = true
+					if n != "all" && !knownAnalyzer(n) {
+						site.badNames = append(site.badNames, n)
+					}
+				}
+				sites = append(sites, site)
+			}
+		}
+	}
+	return sites
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// covers reports whether the site suppresses a diagnostic from the
+// named analyzer at (file, line).
+func (s *allowSite) covers(name, file string, line int) bool {
+	if !s.justified || len(s.badNames) > 0 {
+		return false
+	}
+	if !s.analyzers["all"] && !s.analyzers[name] {
+		return false
+	}
+	return s.file == file && (s.line == line || s.line == line-1)
+}
+
+// FilterAllowed drops diagnostics covered by a well-formed allow
+// comment and appends one "mgslint-allow" diagnostic per malformed
+// comment (missing justification or unknown analyzer name).
+func FilterAllowed(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	sites := parseAllows(fset, files)
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for i := range sites {
+			if sites[i].covers(d.Analyzer, p.Filename, p.Line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, s := range sites {
+		if !s.justified {
+			out = append(out, analysis.Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "mgslint-allow",
+				Message:  "mgslint:allow without a justification (write `//mgslint:allow <analyzer> -- <why this is sound>`); nothing is suppressed",
+			})
+		}
+		for _, n := range s.badNames {
+			out = append(out, analysis.Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "mgslint-allow",
+				Message:  fmt.Sprintf("mgslint:allow names unknown analyzer %q; nothing is suppressed", n),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		path          string
+		deterministic bool
+		noGoroutine   bool
+		chargeCost    bool
+	}{
+		{"mgs/internal/sim", true, true, false},
+		{"mgs/internal/core", true, true, true},
+		{"mgs/internal/msg", true, true, true},
+		{"mgs/internal/harness", false, true, false},
+		{"mgs/internal/exp", false, false, false},
+		{"mgs/internal/stats", false, false, false},
+		{"mgs/cmd/mgssim", false, false, false},
+		// go vet analyzes test variants under a suffixed path.
+		{"mgs/internal/sim [mgs/internal/sim.test]", true, true, false},
+		// The fixture trees mirror real paths and must classify alike.
+		{"mgs/internal/lint/testdata/enginectx/src/mgs/internal/core", true, true, true},
+	}
+	for _, c := range cases {
+		if got := isDeterministic(c.path); got != c.deterministic {
+			t.Errorf("isDeterministic(%q) = %v, want %v", c.path, got, c.deterministic)
+		}
+		if got := scopeNoGoroutine(c.path); got != c.noGoroutine {
+			t.Errorf("scopeNoGoroutine(%q) = %v, want %v", c.path, got, c.noGoroutine)
+		}
+		if got := scopeChargeCost(c.path); got != c.chargeCost {
+			t.Errorf("scopeChargeCost(%q) = %v, want %v", c.path, got, c.chargeCost)
+		}
+	}
+}

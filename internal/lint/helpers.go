@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mgs/internal/lint/analysis"
+)
+
+// isTestFile reports whether the file is a _test.go file. The analyzers
+// check only shipping simulator code; tests drive the simulator from
+// the host side and legitimately use seeded rand, goroutines, etc.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// sourceFiles returns the non-test files of the pass.
+func sourceFiles(pass *analysis.Pass) []*ast.File {
+	var out []*ast.File
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// namedType dereferences pointers and returns t's named type, or nil.
+func namedType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeIs reports whether t (possibly behind a pointer) is the named
+// type pkgName.typeName, where pkgName is matched as internal/<pkgName>
+// so fixture packages under testdata classify like the real ones.
+func typeIs(t types.Type, pkgName, typeName string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == typeName && pkgIs(n.Obj().Pkg().Path(), pkgName)
+}
+
+// calleeOf resolves the *types.Func a call expression invokes (method
+// or plain function), or nil for builtins, conversions, and calls of
+// function-typed values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isMethodOn reports whether f is a method named one of names on the
+// named type pkgName.typeName.
+func isMethodOn(f *types.Func, pkgName, typeName string, names ...string) bool {
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !typeIs(sig.Recv().Type(), pkgName, typeName) {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgNameOf resolves a selector's base to an imported package path, or
+// "" if the base is not a package identifier.
+func pkgNameOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// funcGraph is a same-package call graph over declared functions and
+// methods. Function literals are folded into their enclosing
+// declaration except where an analyzer treats them as separate roots
+// (enginectx's engine-context closures).
+type funcGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	calls map[*types.Func][]*types.Func // same-package callees only
+}
+
+// buildFuncGraph collects every declared function of the pass's
+// non-test files and the same-package calls each makes (including calls
+// made inside nested function literals).
+func buildFuncGraph(pass *analysis.Pass) *funcGraph {
+	return buildFuncGraphSkipping(pass, nil)
+}
+
+// buildFuncGraphSkipping is buildFuncGraph, but function literals in
+// skip are not folded into their enclosing declaration: calls inside
+// them belong to whatever context eventually invokes the literal, not
+// to the function that merely created it (enginectx uses this for
+// scheduled callbacks).
+func buildFuncGraphSkipping(pass *analysis.Pass, skip map[*ast.FuncLit]bool) *funcGraph {
+	g := &funcGraph{
+		decls: map[*types.Func]*ast.FuncDecl{},
+		calls: map[*types.Func][]*types.Func{},
+	}
+	for _, f := range sourceFiles(pass) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[obj] = fd
+			inspectSkipping(fd.Body, skip, func(n ast.Node) {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := calleeOf(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+						g.calls[obj] = append(g.calls[obj], callee)
+					}
+				}
+			})
+		}
+	}
+	return g
+}
+
+// inspectSkipping walks node, calling fn on every node, but does not
+// descend into function literals present in skip.
+func inspectSkipping(node ast.Node, skip map[*ast.FuncLit]bool, fn func(ast.Node)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && skip[lit] {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// reach returns the set of functions reachable from seeds through
+// same-package calls (seeds included).
+func (g *funcGraph) reach(seeds []*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, c := range g.calls[f] {
+			visit(c)
+		}
+	}
+	for _, s := range seeds {
+		visit(s)
+	}
+	return seen
+}

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mgs/internal/lint"
+	"mgs/internal/lint/analysistest"
+)
+
+func TestNoWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata/nowalltime", lint.NoWallTime,
+		"mgs/internal/vm", "mgs/internal/stats")
+}
+
+func TestNoGoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata/nogoroutine", lint.NoGoroutine,
+		"mgs/internal/mem", "mgs/internal/harness", "mgs/internal/exp")
+}
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata/maprange", lint.MapRange,
+		"mgs/internal/cache")
+}
+
+func TestChargeCost(t *testing.T) {
+	analysistest.Run(t, "testdata/chargecost", lint.ChargeCost,
+		"mgs/internal/msg", "mgs/internal/core")
+}
+
+func TestEngineCtx(t *testing.T) {
+	analysistest.Run(t, "testdata/enginectx", lint.EngineCtx,
+		"mgs/internal/sim", "mgs/internal/core")
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mgs/internal/lint/analysis"
+)
+
+// NoWallTime forbids wall-clock time and process-global randomness in
+// deterministic packages. Simulated code must take its notion of time
+// from sim.Time (Engine.Now, Proc.Clock) and its randomness from
+// explicitly seeded generators (rand.New(rand.NewSource(seed)) or the
+// repo's xorshift idiom); anything else couples simulated results to
+// the host, and every sweep CSV silently stops being reproducible.
+var NoWallTime = &analysis.Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid time.Now/Since/Sleep and global math/rand in deterministic packages; " +
+		"virtual time and seeded generators only",
+	Run: runNoWallTime,
+}
+
+// wallClockFuncs are the package time functions that read the host
+// clock or host timers. Pure types and arithmetic (time.Duration,
+// time.Time values passed in from the host side) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandFuncs are the math/rand constructors that produce an
+// explicitly seeded generator; everything else at package level draws
+// from the process-global source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoWallTime(pass *analysis.Pass) error {
+	if !isDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range sourceFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(pass.TypesInfo, sel) {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the host clock or scheduler: forbidden in deterministic package %s (use sim.Time via Engine.Now/Proc.Clock)",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !seededRandFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s draws from the process-wide source: forbidden in deterministic package %s (use rand.New(rand.NewSource(seed)))",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

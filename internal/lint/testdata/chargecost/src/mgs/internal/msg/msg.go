@@ -1,0 +1,29 @@
+package msg
+
+import "mgs/internal/sim"
+
+type Costs struct {
+	SendOverhead sim.Time
+	HandlerEntry sim.Time
+}
+
+type Network struct {
+	eng   *sim.Engine
+	procs []*sim.Proc
+	costs Costs
+}
+
+// Send charges launch overhead and handler entry: the canonical path.
+func (n *Network) Send(from, to int, when sim.Time, bytes int, fn func(done sim.Time)) {
+	arrive := when + n.costs.SendOverhead
+	n.eng.At(arrive, func() {
+		cost := n.costs.HandlerEntry
+		start := n.procs[to].HandlerStart(arrive, cost)
+		fn(start + cost)
+	})
+}
+
+// SendFree delivers without charging anything.
+func (n *Network) SendFree(from, to int, when sim.Time, fn func(done sim.Time)) { // want `SendFree is a protocol handler/send path but no path through it charges`
+	n.eng.At(when, func() { fn(when) })
+}

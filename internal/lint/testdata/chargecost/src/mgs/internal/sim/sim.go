@@ -1,0 +1,23 @@
+// Package sim is a miniature stand-in for the real internal/sim, just
+// enough surface for the chargecost fixtures to type-check against.
+package sim
+
+type Time int64
+
+type Engine struct{ now Time }
+
+func (e *Engine) Now() Time               { return e.now }
+func (e *Engine) At(t Time, fn func())    {}
+func (e *Engine) After(d Time, fn func()) {}
+
+type Proc struct {
+	ID    int
+	clock Time
+	debt  Time
+}
+
+func (p *Proc) Advance(d Time) Time            { p.clock += d; return d }
+func (p *Proc) Sleep(d Time)                   { p.clock += d }
+func (p *Proc) AddDebt(d Time)                 { p.debt += d }
+func (p *Proc) HandlerStart(t, cost Time) Time { return t + cost }
+func (p *Proc) Wake(t Time)                    {}

@@ -1,0 +1,77 @@
+package core
+
+import "mgs/internal/sim"
+
+type duq struct {
+	queue  []int
+	member map[int]bool
+}
+
+func (d *duq) add(p int) {
+	if !d.member[p] {
+		d.member[p] = true
+		d.queue = append(d.queue, p)
+	}
+}
+
+type System struct {
+	eng  *sim.Engine
+	duqs []*duq
+}
+
+// Access models a processor-side access: proc context, sanctioned APIs.
+func (s *System) Access(p *sim.Proc, page int) {
+	p.Advance(10)
+	s.duqs[0].add(page)
+}
+
+// badPoke mutates DUQ membership directly instead of going through add.
+func (s *System) badPoke(p *sim.Proc, page int) {
+	s.duqs[0].member[page] = true // want `direct write to core\.duq field member from proc-context code`
+}
+
+// badHandler schedules a callback that parks the processor: the
+// callback runs in engine context and would deadlock the handshake.
+func (s *System) badHandler(p *sim.Proc, at sim.Time) {
+	s.eng.At(at, func() {
+		p.Park() // want `Proc\.Park yields or advances the local clock`
+	})
+}
+
+// goodHandler wakes instead: engine-safe.
+func (s *System) goodHandler(p *sim.Proc, at sim.Time) {
+	s.eng.At(at, func() {
+		p.Wake(at)
+	})
+}
+
+// relay schedules deliver; deliver therefore runs in engine context
+// even though it is a named method with a Proc parameter.
+func (s *System) relay(p *sim.Proc, at sim.Time) {
+	s.eng.At(at, func() { s.deliver(p, at) })
+}
+
+func (s *System) deliver(p *sim.Proc, at sim.Time) {
+	p.Advance(5) // want `Proc\.Advance yields or advances the local clock`
+}
+
+// shared is reachable from both contexts: the analyzer cannot decide
+// it and stays silent.
+func (s *System) shared(p *sim.Proc) {
+	p.Advance(1)
+}
+
+func (s *System) Enter(p *sim.Proc) {
+	s.shared(p)
+}
+
+func (s *System) onPing(p *sim.Proc, at sim.Time) {
+	s.eng.At(at, func() { s.shared(p) })
+}
+
+// exempt documents a deliberate engine-context yield.
+func (s *System) exempt(p *sim.Proc, at sim.Time) {
+	s.eng.At(at, func() {
+		p.Yield() //mgslint:allow enginectx -- fixture: engine intentionally idles this proc during drain
+	})
+}

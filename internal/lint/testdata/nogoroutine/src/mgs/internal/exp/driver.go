@@ -1,0 +1,9 @@
+// Package exp is host-side and outside nogoroutine's scope: nothing
+// here is flagged.
+package exp
+
+func Spawn(fn func()) {
+	done := make(chan struct{})
+	go func() { fn(); close(done) }()
+	<-done
+}

@@ -1,0 +1,17 @@
+// Package harness is in nogoroutine's scope even though it is not a
+// deterministic package: its worker pool is one of the two sanctioned
+// spawn sites, and every other goroutine or channel here is a bug.
+package harness
+
+func RunPool(n int, job func(int)) {
+	done := make(chan struct{}, n) // want `make\(chan \.\.\.\) outside the engine handshake`
+	for k := 0; k < n; k++ {
+		go func(k int) { // want `go statement hands scheduling`
+			job(k)
+			done <- struct{}{} // want `channel send outside the engine handshake`
+		}(k)
+	}
+	for k := 0; k < n; k++ {
+		<-done // want `channel receive outside the engine handshake`
+	}
+}

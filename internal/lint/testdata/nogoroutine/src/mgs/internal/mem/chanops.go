@@ -1,0 +1,40 @@
+package mem
+
+// Spawn hands scheduling to the Go runtime.
+func Spawn(fn func()) {
+	go fn() // want `go statement hands scheduling`
+}
+
+// Channels exercises every forbidden channel operation.
+func Channels() {
+	ch := make(chan int, 1) // want `make\(chan \.\.\.\) outside the engine handshake`
+	ch <- 1                 // want `channel send outside the engine handshake`
+	<-ch                    // want `channel receive outside the engine handshake`
+	close(ch)               // want `close of channel outside the engine handshake`
+	for range ch { // want `range over channel`
+	}
+}
+
+// Choose is scheduler-dependent by construction.
+func Choose(a, b chan int) int {
+	select { // want `select statement`
+	case v := <-a: // want `channel receive outside the engine handshake`
+		return v
+	case v := <-b: // want `channel receive outside the engine handshake`
+		return v
+	}
+}
+
+// Allowed stands in for a sanctioned handshake site.
+func Allowed() chan struct{} {
+	//mgslint:allow nogoroutine -- fixture: stands in for the annotated engine handshake
+	return make(chan struct{})
+}
+
+// NotChannels shows make/close of non-channel things stay legal.
+func NotChannels() []int {
+	s := make([]int, 4)
+	m := make(map[int]int)
+	_ = m
+	return s
+}

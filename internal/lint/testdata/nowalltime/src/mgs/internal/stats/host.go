@@ -1,0 +1,13 @@
+// Package stats is host-side: the determinism analyzers do not apply,
+// so nothing here is flagged.
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() (time.Time, int) {
+	time.Sleep(1)
+	return time.Now(), rand.Intn(4)
+}

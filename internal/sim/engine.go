@@ -47,7 +47,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{yield: make(chan struct{})} //mgslint:allow nogoroutine -- the engine handshake channel: unbuffered, used only by Engine.run/Proc.block below
 }
 
 // Now returns the current virtual time: the timestamp of the event being
@@ -104,7 +104,7 @@ func (e *Engine) Run() error {
 // finishes). Must be called from engine context.
 func (e *Engine) run(p *Proc) {
 	e.cur = p
-	p.resume <- struct{}{}
-	<-e.yield
+	p.resume <- struct{}{} //mgslint:allow nogoroutine -- engine handshake: hand control to p's body goroutine
+	<-e.yield              //mgslint:allow nogoroutine -- engine handshake: block until p yields, so exactly one goroutine is ever runnable
 	e.cur = nil
 }
