@@ -5,6 +5,12 @@
 // Usage:
 //
 //	mgs-trace -app water -p 8 -c 2 [-page 5] [-from 0] [-to 1e9] [-max 500]
+//	mgs-trace -app water -faults -fseed 7 [-fdrop 300] [-fdup 100] [-fdelay 500]
+//
+// With -faults, a seeded fault plan (internal/fault) is attached to the
+// transport and injector events (DROP/DUP/DELAY/TIMEOUT/ACK...) print
+// interleaved with the protocol events — the view that shows which
+// retransmission provoked which protocol transition.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"strings"
 
 	"mgs/internal/exp"
+	"mgs/internal/fault"
 	"mgs/internal/harness"
 )
 
@@ -28,7 +35,12 @@ func main() {
 		from  = flag.Int64("from", 0, "suppress events before this cycle")
 		to    = flag.Int64("to", 1<<62, "suppress events after this cycle")
 		max   = flag.Int("max", 500, "stop printing after this many events")
-		small = flag.Bool("small", true, "use reduced problem sizes")
+		small  = flag.Bool("small", true, "use reduced problem sizes")
+		faults = flag.Bool("faults", false, "attach a fault plan and trace injector events too")
+		fseed  = flag.Uint64("fseed", 1, "fault plan seed")
+		fdrop  = flag.Int("fdrop", 300, "drop rate, basis points")
+		fdup   = flag.Int("fdup", 100, "duplication rate, basis points")
+		fdelay = flag.Int("fdelay", 500, "delay rate, basis points")
 	)
 	flag.Parse()
 
@@ -37,13 +49,17 @@ func main() {
 		mk = exp.SmallApp
 	}
 	a := mk(*app)
-	m := harness.NewMachine(exp.Config(*p, *c))
+	cfg := exp.Config(*p, *c)
+	if *faults {
+		cfg.Fault = fault.Plan{Seed: *fseed, DropBP: *fdrop, DupBP: *fdup, DelayBP: *fdelay}
+	}
+	m := harness.NewMachine(cfg)
 	printed := 0
 	filter := ""
 	if *page >= 0 {
 		filter = fmt.Sprintf("page=%d ", *page)
 	}
-	m.DSM.TraceFn = func(f string, args ...any) {
+	emit := func(f string, args ...any) {
 		if printed >= *max {
 			return
 		}
@@ -58,6 +74,10 @@ func main() {
 		}
 		printed++
 		fmt.Println(line)
+	}
+	m.DSM.TraceFn = emit
+	if *faults {
+		m.Net.TraceFn = emit
 	}
 	a.Setup(m)
 	res, err := m.Run(a.Body)

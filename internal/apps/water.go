@@ -32,6 +32,19 @@ const (
 
 const waterDT = 1e-3
 
+// waterFxScale converts between float forces/energies and the int64
+// fixed-point representation used for every shared reduction. Integer
+// addition is associative and commutative, so the force and energy sums
+// come out byte-identical no matter which order the per-molecule locks
+// grant in — the property the chaos suite (internal/exp/chaos.go) pins:
+// message faults may reorder lock handoffs, but final memory must match
+// a fault-free run exactly. 2^40 keeps ~1e-12 resolution while the
+// largest force sum stays far below the int64 range.
+const waterFxScale = 1 << 40
+
+func toFx(v float64) int64   { return int64(math.Round(v * waterFxScale)) }
+func fromFx(v int64) float64 { return float64(v) / waterFxScale }
+
 // NewWater returns the default instance (scaled from 343 molecules,
 // 2 iterations).
 func NewWater() *Water { return &Water{N: 64, Iters: 2} }
@@ -80,7 +93,7 @@ func (w *Water) Setup(m *harness.Machine) {
 		}
 	}
 	w.kin = m.Alloc(8)
-	m.SetF64(w.kin, 0)
+	m.SetI64(w.kin, 0) // fixed-point accumulator
 }
 
 // pairForce is the interaction kernel (softened inverse-cube pull
@@ -112,10 +125,10 @@ func (w *Water) loadPos(c *harness.Ctx, i int) [3]float64 {
 func (w *Water) Body(c *harness.Ctx) {
 	lo, hi := blockRange(w.N, c.ID, c.NProcs)
 	for it := 0; it < w.Iters; it++ {
-		// Phase 1: zero own forces.
+		// Phase 1: zero own forces (held in fixed point).
 		for i := lo; i < hi; i++ {
 			for k := 0; k < 3; k++ {
-				w.mol.Store(c, i*molWords+6+k, 0)
+				c.StoreI64(w.mol.At(i*molWords+6+k), 0)
 			}
 		}
 		c.Barrier(0)
@@ -131,12 +144,14 @@ func (w *Water) Body(c *harness.Ctx) {
 				flop(c, 5000)
 				c.Acquire(waterLockBase + i)
 				for k := 0; k < 3; k++ {
-					w.mol.Store(c, i*molWords+6+k, w.mol.Load(c, i*molWords+6+k)+f[k])
+					a := w.mol.At(i*molWords + 6 + k)
+					c.StoreI64(a, c.LoadI64(a)+toFx(f[k]))
 				}
 				c.Release(waterLockBase + i)
 				c.Acquire(waterLockBase + j)
 				for k := 0; k < 3; k++ {
-					w.mol.Store(c, j*molWords+6+k, w.mol.Load(c, j*molWords+6+k)-f[k])
+					a := w.mol.At(j*molWords + 6 + k)
+					c.StoreI64(a, c.LoadI64(a)-toFx(f[k]))
 				}
 				c.Release(waterLockBase + j)
 			}
@@ -148,7 +163,7 @@ func (w *Water) Body(c *harness.Ctx) {
 		part := 0.0
 		for i := lo; i < hi; i++ {
 			for k := 0; k < 3; k++ {
-				v := w.mol.Load(c, i*molWords+3+k) + waterDT*w.mol.Load(c, i*molWords+6+k)
+				v := w.mol.Load(c, i*molWords+3+k) + waterDT*fromFx(c.LoadI64(w.mol.At(i*molWords+6+k)))
 				w.mol.Store(c, i*molWords+3+k, v)
 				p := w.mol.Load(c, i*molWords+k) + waterDT*v
 				w.mol.Store(c, i*molWords+k, p)
@@ -158,7 +173,7 @@ func (w *Water) Body(c *harness.Ctx) {
 		}
 		if hi > lo {
 			c.Acquire(waterStatsLock)
-			c.StoreF64(w.kin, c.LoadF64(w.kin)+part)
+			c.StoreI64(w.kin, c.LoadI64(w.kin)+toFx(part))
 			c.Release(waterStatsLock)
 		}
 		c.Barrier(2)
@@ -209,7 +224,7 @@ func (w *Water) Verify(m *harness.Machine) error {
 			}
 		}
 	}
-	return checkClose("kinetic energy", m.GetF64(w.kin), kin, 1e-9)
+	return checkClose("kinetic energy", fromFx(m.GetI64(w.kin)), kin, 1e-9)
 }
 
 // MolAddr exposes molecule i's base address (tests and tools).

@@ -142,9 +142,27 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 			// no WNOTIFY — only the retention veto.
 			sp.homeDirty = true
 		} else {
-			// WNOTIFY to the Server (arc 18).
+			// WNOTIFY to the Server (arc 18). The notification names a
+			// specific copy incarnation: if it arrives after a release
+			// round has captured and torn that copy down (the INV can be
+			// queued on the page-table lock behind this very upgrade, or
+			// the WNOTIFY can simply be delayed in the network), applying
+			// it would plant a phantom write_dir bit for an SSMP that
+			// holds nothing. A later round would then send an INV that
+			// queues behind a re-faulting processor whose request is
+			// pended behind that same round — deadlock. Stale
+			// notifications are dropped instead: under-registering a
+			// write copy only forgoes the single-writer optimization (the
+			// round's DIFF reply still carries the data), while
+			// over-registering is unsound.
 			ssmp := cp.ssmp
+			gen := cp.gen
 			s.net.Send(o, sp.homeProc, at, c.CtrlBytes, 0, func(at2 sim.Time) {
+				if cp.gen != gen || cp.state != PWrite {
+					s.st.Count("wnotify.stale", 1)
+					s.trace("t=%d page=%d WNOTIFY from ssmp %d STALE (gen %d != %d or state %v)", at2, sp.page, ssmp, gen, cp.gen, cp.state)
+					return
+				}
 				s.st.Count("wnotify", 1)
 				s.trace("t=%d page=%d WNOTIFY from ssmp %d (state %d)", at2, sp.page, ssmp, sp.state)
 				sp.readDir &^= bit(ssmp)

@@ -435,16 +435,29 @@ func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at si
 		}
 	}
 	s.net.Send(from, sp.homeProc, at, bytes, 0, func(at2 sim.Time) {
-		s.onInvReply(sp, kind, d, at2)
+		s.onInvReply(sp, from, kind, d, at2)
 	})
 }
 
 // onInvReply is the Server's ACK/DIFF/1WDATA handler (arcs 22–23): merge
 // incoming modifications into the home frame; when the last reply
-// arrives, finish the release round.
-func (s *System) onInvReply(sp *serverPage, kind invReply, d Diff, at sim.Time) {
+// arrives, finish the release round. from is the replying Remote Client's
+// processor.
+func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, at sim.Time) {
 	c := &s.cfg.Costs
 	s.trace("t=%d page=%d INVREPLY kind=%d diff=%d count->%d", at, sp.page, kind, len(d), sp.count-1)
+	if kind == ackReply && sp.keepWriter >= 0 && s.ssmpOf(from) == sp.keepWriter {
+		// The supposedly retained single writer reports its copy already
+		// gone: its write_dir bit was a phantom. That happens when a
+		// WNOTIFY is delayed past the release round that captured the
+		// copy — the late notification re-registers an SSMP that holds
+		// nothing. Retention would then write the phantom back into
+		// write_dir at finishRel, where the single-writer test would
+		// retain it again on every subsequent round, forever. Drop the
+		// retention; the round ends with clean directories.
+		sp.keepWriter = -1
+		s.st.Count("1wphantom", 1)
+	}
 	if len(d) > 0 {
 		// A 1WDATA transfer occupies the home for the full page; a
 		// DIFF only for its changed bytes.

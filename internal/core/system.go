@@ -39,6 +39,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mgs/internal/cache"
 	"mgs/internal/mem"
@@ -343,6 +344,29 @@ func (s *System) BackdoorLoad64(va vm.Addr) uint64 {
 	return f.Load64(off)
 }
 
+// SnapshotMemory returns the contents of the allocated shared address
+// space as held by the home frames, page by page in address order, with
+// untouched pages reading as zeros. After every processor has passed its
+// final release point the home frames are the authoritative image, so
+// two runs of one program must snapshot identically no matter what a
+// fault plan did to the wire — the invariant cmd/mgs-chaos enforces.
+// No simulated cost.
+func (s *System) SnapshotMemory() []byte {
+	brk := s.space.Brk()
+	if brk == 0 {
+		return nil
+	}
+	ps := s.cfg.PageSize
+	last := s.space.PageOf(brk - 1)
+	out := make([]byte, (int(last)+1)*ps)
+	for v := vm.Page(0); v <= last; v++ {
+		if sp, ok := s.servers[v]; ok {
+			copy(out[int(v)*ps:(int(v)+1)*ps], sp.frame.Data)
+		}
+	}
+	return out
+}
+
 // Access performs one simulated shared-memory access by processor p to
 // virtual address va. It charges software translation, faults and runs
 // the MGS protocol as needed (possibly blocking p), charges the
@@ -411,4 +435,36 @@ func (s *System) CacheCounters() cache.Counters {
 // DUQLen reports the delayed-update-queue length of processor p.
 func (s *System) DUQLen(p int) int {
 	return s.ssmps[s.ssmpOf(p)].duqs[s.within(p)].len()
+}
+
+// DumpServers prints every server page's round state and every client
+// page's lock state that could hold a round up (deadlock diagnosis;
+// pages print in sorted order so two dumps of the same state compare
+// equal).
+func (s *System) DumpServers(f func(format string, args ...any)) {
+	pages := make([]vm.Page, 0, len(s.servers))
+	for v := range s.servers {
+		pages = append(pages, v)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, v := range pages {
+		sp := s.servers[v]
+		if sp.state == sRel || len(sp.pendRel) > 0 || len(sp.pendReq) > 0 || sp.count != 0 || len(sp.invQueue) > 0 || sp.refreshing != 0 || len(sp.pendReRel) > 0 {
+			f("page=%d state=%d count=%d invQueue=%v keep=%d captured=%b pendRel=%v pendReq=%v pendReRel=%v R=%b W=%b",
+				v, sp.state, sp.count, sp.invQueue, sp.keepWriter, sp.captured, sp.pendRel, sp.pendReq, sp.pendReRel, sp.readDir, sp.writeDir)
+		}
+	}
+	for si, ss := range s.ssmps {
+		pages = pages[:0]
+		for v := range ss.pages {
+			pages = append(pages, v)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		for _, v := range pages {
+			cp := ss.pages[v]
+			if cp.lk.held || len(cp.lk.waiters) > 0 || cp.invCount > 0 {
+				f("ssmp=%d page=%d state=%v lkheld=%v lkq=%d invCount=%d", si, v, cp.state, cp.lk.held, len(cp.lk.waiters), cp.invCount)
+			}
+		}
+	}
 }

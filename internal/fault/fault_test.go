@@ -1,0 +1,95 @@
+package fault
+
+import "testing"
+
+// Streams must be pure functions of (seed, msg id): identical inputs
+// give identical draw sequences, and either input changing changes the
+// schedule.
+func TestStreamDeterministic(t *testing.T) {
+	p := Plan{Seed: 42, DropBP: 300, DupBP: 100, DelayBP: 500}
+	for id := uint64(1); id <= 64; id++ {
+		a, b := p.Stream(id), p.Stream(id)
+		for i := 0; i < 16; i++ {
+			fa, fb := p.NextAttempt(&a), p.NextAttempt(&b)
+			if fa != fb {
+				t.Fatalf("id %d draw %d: %+v vs %+v", id, i, fa, fb)
+			}
+		}
+	}
+}
+
+func TestStreamVariesWithSeedAndID(t *testing.T) {
+	p1 := Plan{Seed: 1, DropBP: 5000}
+	p2 := Plan{Seed: 2, DropBP: 5000}
+	diffSeed, diffID := 0, 0
+	for id := uint64(1); id <= 256; id++ {
+		s1, s2, s3 := p1.Stream(id), p2.Stream(id), p1.Stream(id+1)
+		a, b, c := p1.NextAttempt(&s1), p2.NextAttempt(&s2), p1.NextAttempt(&s3)
+		if a.Drop != b.Drop {
+			diffSeed++
+		}
+		if a.Drop != c.Drop {
+			diffID++
+		}
+	}
+	if diffSeed == 0 {
+		t.Fatal("schedule ignores the seed")
+	}
+	if diffID == 0 {
+		t.Fatal("schedule ignores the message id")
+	}
+}
+
+// Observed rates must track the configured basis points (loose bounds:
+// this is a smoke test of the hash quality, not a statistics suite).
+func TestRatesApproximate(t *testing.T) {
+	p := Plan{Seed: 7, DropBP: 500, DupBP: 200, DelayBP: 1000, MaxDelay: 100}
+	const n = 200_000
+	var drops, dups, delays int
+	for id := uint64(1); id <= n; id++ {
+		s := p.Stream(id)
+		f := p.NextAttempt(&s)
+		if f.Drop {
+			drops++
+			continue
+		}
+		if f.Dup {
+			dups++
+			if f.DupExtra < 1 || f.DupExtra > 100 {
+				t.Fatalf("dup extra %d out of [1,100]", f.DupExtra)
+			}
+		}
+		if f.Extra != 0 {
+			delays++
+			if f.Extra < 1 || f.Extra > 100 {
+				t.Fatalf("extra %d out of [1,100]", f.Extra)
+			}
+		}
+	}
+	within := func(name string, got, wantBP int) {
+		gotBP := got * 10000 / n
+		if gotBP < wantBP*8/10 || gotBP > wantBP*12/10 {
+			t.Errorf("%s rate %d bp, want ~%d bp", name, gotBP, wantBP)
+		}
+	}
+	within("drop", drops, 500)
+	// Dup and delay are conditional on not dropping (95% of attempts).
+	within("dup", dups, 200*95/100)
+	within("delay", delays, 1000*95/100)
+}
+
+func TestEmpty(t *testing.T) {
+	if !(Plan{}).Empty() {
+		t.Fatal("zero plan must be empty")
+	}
+	if !(Plan{Seed: 99}).Empty() {
+		t.Fatal("seed alone must not arm the plan")
+	}
+	if (Plan{DropBP: 1}).Empty() || (Plan{DupBP: 1}).Empty() || (Plan{DelayBP: 1}).Empty() {
+		t.Fatal("any nonzero rate must arm the plan")
+	}
+	s := Plan{}.Stream(1)
+	if f := (Plan{}).NextAttempt(&s); f != (AttemptFate{}) {
+		t.Fatalf("empty plan produced a fault: %+v", f)
+	}
+}

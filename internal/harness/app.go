@@ -29,6 +29,23 @@ func RunApp(app App, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// RunAppMem is RunApp, additionally returning the final shared-memory
+// image (core.System.SnapshotMemory) after verification. The chaos
+// harness compares the image of a faulty run byte-for-byte against the
+// fault-free baseline's.
+func RunAppMem(app App, cfg Config) (Result, []byte, error) {
+	m := NewMachine(cfg)
+	app.Setup(m)
+	res, err := m.Run(app.Body)
+	if err != nil {
+		return res, nil, fmt.Errorf("%s: %w", app.Name(), err)
+	}
+	if err := app.Verify(m); err != nil {
+		return res, nil, fmt.Errorf("%s: verification failed: %w", app.Name(), err)
+	}
+	return res, m.DSM.SnapshotMemory(), nil
+}
+
 // SweepPoint is one cluster size's outcome.
 type SweepPoint struct {
 	C   int

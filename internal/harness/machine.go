@@ -9,6 +9,7 @@ import (
 
 	"mgs/internal/cache"
 	"mgs/internal/core"
+	"mgs/internal/fault"
 	"mgs/internal/msg"
 	"mgs/internal/msync"
 	"mgs/internal/sim"
@@ -27,6 +28,12 @@ type Config struct {
 	// Disabled substitutes null MGS calls (the paper's C = P runs):
 	// plain software virtual memory, no software coherence.
 	Disabled bool
+
+	// Fault, when non-empty, interposes the deterministic fault-injecting
+	// reliable transport on every inter-SSMP message (internal/fault,
+	// msg.Network.AttachFault). An empty plan is the identity: the run is
+	// bit-identical to one that never heard of faults.
+	Fault fault.Plan
 
 	Protocol core.Costs
 	Cache    cache.Costs
@@ -92,6 +99,7 @@ func NewMachine(cfg Config) *Machine {
 	m.Stats = stats.NewCollector(cfg.P)
 	st := m.Stats
 	m.Net.OnHandler = func(proc int, cyc sim.Time) { st.Charge(proc, stats.MGS, cyc) }
+	m.Net.AttachFault(cfg.Fault, &st.Fault)
 	space := vm.NewSpace(cfg.PageSize, cfg.P)
 	m.DSM = core.New(m.Eng, m.Net, space, st, m.Procs, core.Config{
 		NProcs: cfg.P, ClusterSize: cfg.C, PageSize: cfg.PageSize,
@@ -159,6 +167,9 @@ type Result struct {
 	InterMsgs, InterBytes, IntraMsgs int64
 	// Counters are the protocol event counters, sorted.
 	Counters []string
+	// Fault is the fault-injection transport's accounting (all zeros on
+	// fault-free runs).
+	Fault stats.Fault
 }
 
 // Run executes body on every processor and collects the result. A
@@ -189,6 +200,7 @@ func (m *Machine) RunPer(bodyFor func(i int) func(c *Ctx)) (Result, error) {
 		InterBytes: m.Net.Counters.InterBytes,
 		IntraMsgs:  m.Net.Counters.IntraMsgs,
 		Counters:   m.Stats.Counters(),
+		Fault:      m.Stats.Fault,
 	}, nil
 }
 

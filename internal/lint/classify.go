@@ -30,6 +30,7 @@ var deterministicPkgs = map[string]bool{
 	"msync": true,
 	"apps":  true,
 	"cache": true,
+	"fault": true,
 }
 
 // canonicalPath strips go vet's test-variant suffix: the package

@@ -9,7 +9,7 @@ import (
 
 func TestNoWallTime(t *testing.T) {
 	analysistest.Run(t, "testdata/nowalltime", lint.NoWallTime,
-		"mgs/internal/vm", "mgs/internal/stats")
+		"mgs/internal/vm", "mgs/internal/stats", "mgs/internal/fault")
 }
 
 func TestNoGoroutine(t *testing.T) {

@@ -1,0 +1,48 @@
+// Package fault mirrors the real internal/fault for the nowalltime
+// fixture: fault plans execute on the simulated path, so every fate
+// decision must be a pure function of (seed, message id) — host clocks
+// and the process-global rand source would make chaos runs
+// unreproducible.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	Seed   uint64
+	DropBP int
+}
+
+// SeededStream is the legitimate construction: the whole schedule
+// derives from the plan seed and the message id, nothing else.
+func (p Plan) SeededStream(msgID uint64) uint64 {
+	return mix64(p.Seed ^ mix64(msgID))
+}
+
+// HostSeeded shows the forbidden construction: seeding a fault plan
+// from the wall clock makes every chaos run unrepeatable.
+func HostSeeded() Plan {
+	return Plan{Seed: uint64(time.Now().UnixNano()), DropBP: 300} // want `time\.Now reads the host clock`
+}
+
+// GlobalRoll shows the other forbidden construction: drawing fates from
+// the process-global source couples the schedule to whatever else has
+// consumed from it.
+func GlobalRoll(p Plan) bool {
+	return rand.Intn(10000) < p.DropBP // want `global rand\.Intn draws from the process-wide source`
+}
+
+// LocalRoll is the acceptable seeded form.
+func LocalRoll(p Plan, msgID uint64) bool {
+	r := rand.New(rand.NewSource(int64(p.SeededStream(msgID))))
+	return r.Intn(10000) < p.DropBP
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

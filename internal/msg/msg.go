@@ -42,7 +42,39 @@ type Costs struct {
 	// loaded network.
 	Jitter     sim.Time
 	JitterSeed uint64
+
+	// Reliable-transport parameters, consulted only while a fault plan
+	// is attached (AttachFault); zero fields take the Default* values.
+	// See reliable.go for the seq/ack/retransmission machinery.
+
+	// RetryTimeout is the initial retransmission timeout: how long the
+	// sender waits for a transport ack before resending. Each further
+	// attempt doubles it, capped at RetryTimeoutMax.
+	RetryTimeout    sim.Time
+	RetryTimeoutMax sim.Time
+	// RetransmitWork is the sender-side timer-interrupt occupancy
+	// charged per retransmission (the driver re-queues the DMA).
+	RetransmitWork sim.Time
+	// AckBytes sizes the transport-level acknowledgment packet.
+	AckBytes int
+	// RetryLimit aborts the run (Engine.Stop) if one message needs more
+	// than this many attempts — a diagnostic backstop, not a protocol
+	// feature: with independent per-attempt fates and any loss rate
+	// below 100% the limit is unreachable in practice.
+	RetryLimit int
 }
+
+// Default reliable-transport parameters. The initial timeout covers the
+// worst uncontended inter-SSMP round trip of the calibrated cost table
+// (two page payloads plus control traffic, both ways) with slack for
+// handler queueing at a hot home processor.
+const (
+	DefaultRetryTimeout    sim.Time = 20_000
+	DefaultRetryTimeoutMax sim.Time = 160_000
+	DefaultRetransmitWork  sim.Time = 200
+	DefaultAckBytes                 = 8
+	DefaultRetryLimit               = 30
+)
 
 // Counters tallies traffic.
 type Counters struct {
@@ -67,9 +99,22 @@ type Network struct {
 	// which the link next frees (InterMesh mode only).
 	linkBusy map[link]sim.Time
 
+	// inj, when non-nil, interposes the fault-injecting reliable
+	// transport on every inter-SSMP message (reliable.go). Nil on the
+	// fault-free path, which is byte-identical to a Network that never
+	// heard of faults.
+	inj *injector
+
 	// OnHandler, if set, is called for every cycle of handler work
 	// charged to a processor (protocol-time attribution).
 	OnHandler func(proc int, cycles sim.Time)
+
+	// TraceFn, if set, receives a line per transport fault event —
+	// drops, duplicates, delays, timeouts, retransmissions — in the
+	// same "t=<cycle> ..." shape as core.System.TraceFn, so the two
+	// streams interleave into one protocol event log (mgs-trace
+	// -faults).
+	TraceFn func(format string, args ...any)
 
 	Counters Counters
 }
@@ -162,6 +207,13 @@ func (n *Network) Send(from, to int, when sim.Time, bytes int, extra sim.Time, f
 	} else {
 		n.Counters.IntraMsgs++
 		n.Counters.IntraBytes += int64(bytes)
+	}
+	if inter && n.inj != nil {
+		// Fault-injection mode: the message goes through the reliable
+		// transport (sequence number, ack, retransmission) instead of
+		// the perfect wire.
+		n.inj.send(from, to, when, bytes, extra, fn)
+		return
 	}
 	var arrive sim.Time
 	if inter && n.costs.InterMesh {

@@ -61,6 +61,9 @@ func (b *Barrier) Arrive(p *sim.Proc) {
 		when := lb.maxClock
 		lb.count = 0
 		lb.maxClock = 0
+		if m.Trace != nil {
+			m.Trace("t=%d COMBINE barrier=%d ssmp=%d proc=%d", when, b.id, s, p.ID)
+		}
 		m.charge(p, stats.Barrier, m.net.SendCost())
 		m.net.Send(p.ID, b.home, when, 32, m.costs.BarrierOp,
 			func(at sim.Time) { b.onCombine(at) })
@@ -75,6 +78,9 @@ func (b *Barrier) Arrive(p *sim.Proc) {
 // onCombine runs at the barrier home: one SSMP has fully arrived.
 func (b *Barrier) onCombine(at sim.Time) {
 	b.arrived++
+	if b.m.Trace != nil {
+		b.m.Trace("t=%d COMBINE.HOME barrier=%d arrived=%d/%d", at, b.id, b.arrived, b.m.nssmp())
+	}
 	if b.arrived < b.m.nssmp() {
 		return
 	}
@@ -93,6 +99,9 @@ func (b *Barrier) onCombine(at sim.Time) {
 // flag.
 func (b *Barrier) onRelease(s int, at sim.Time) {
 	lb := &b.local[s]
+	if b.m.Trace != nil {
+		b.m.Trace("t=%d RELEASE barrier=%d ssmp=%d waiters=%d", at, b.id, s, len(lb.waiting))
+	}
 	waiters := lb.waiting
 	lb.waiting = nil
 	for i, p := range waiters {

@@ -1,6 +1,8 @@
 package msync
 
 import (
+	"sort"
+
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
@@ -78,6 +80,9 @@ func (l *Lock) Acquire(p *sim.Proc) {
 	ll.waitQ = append(ll.waitQ, p)
 	if !ll.hasToken && !ll.requested {
 		ll.requested = true
+		if m.Trace != nil {
+			m.Trace("t=%d TOKENREQ lock=%d ssmp=%d proc=%d", p.Clock(), l.id, s, p.ID)
+		}
 		m.charge(p, stats.Lock, m.net.SendCost())
 		m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
 			func(at sim.Time) { l.onTokenReq(s, at) })
@@ -137,6 +142,9 @@ func (l *Lock) Release(p *sim.Proc) {
 
 // onTokenReq runs at the global lock home: SSMP s wants the token.
 func (l *Lock) onTokenReq(s int, at sim.Time) {
+	if l.m.Trace != nil {
+		l.m.Trace("t=%d TOKENREQ.HOME lock=%d ssmp=%d queue=%v owner=%d", at, l.id, s, l.reqQueue, l.tokenOwner)
+	}
 	l.reqQueue = append(l.reqQueue, s)
 	l.pumpDemand(at)
 }
@@ -150,6 +158,9 @@ func (l *Lock) pumpDemand(at sim.Time) {
 	l.demandOut = true
 	m := l.m
 	owner := l.tokenOwner
+	if m.Trace != nil {
+		m.Trace("t=%d DEMAND lock=%d -> ssmp=%d queue=%v", at, l.id, owner, l.reqQueue)
+	}
 	m.net.Send(l.home, m.repProc(owner, l.id), at, 32, m.costs.TokenWork,
 		func(at2 sim.Time) { l.onDemand(owner, at2) })
 }
@@ -158,6 +169,9 @@ func (l *Lock) pumpDemand(at sim.Time) {
 // home, now if the local lock is free, or at the next release.
 func (l *Lock) onDemand(s int, at sim.Time) {
 	ll := &l.local[s]
+	if l.m.Trace != nil {
+		l.m.Trace("t=%d DEMAND.ARRIVE lock=%d ssmp=%d hasToken=%v held=%v", at, l.id, s, ll.hasToken, ll.held)
+	}
 	if !ll.hasToken {
 		// The demand overtook the grant (possible under message
 		// jitter): remember it, so the grant hands the token on after
@@ -177,6 +191,9 @@ func (l *Lock) onDemand(s int, at sim.Time) {
 
 // onTokenBack runs at the home: hand the token to the first queued SSMP.
 func (l *Lock) onTokenBack(at sim.Time) {
+	if l.m.Trace != nil {
+		l.m.Trace("t=%d TOKENBACK lock=%d queue=%v", at, l.id, l.reqQueue)
+	}
 	l.demandOut = false
 	if len(l.reqQueue) == 0 {
 		// No one waiting after all; home's SSMP keeps the token.
@@ -200,6 +217,9 @@ func (l *Lock) onTokenBack(at sim.Time) {
 // the lock to the first local waiter.
 func (l *Lock) onTokenGrant(s int, at sim.Time) {
 	ll := &l.local[s]
+	if l.m.Trace != nil {
+		l.m.Trace("t=%d GRANT lock=%d ssmp=%d waiters=%d demand=%v", at, l.id, s, len(ll.waitQ), ll.demand)
+	}
 	ll.hasToken = true
 	ll.requested = false
 	if len(ll.waitQ) == 0 {
@@ -228,4 +248,48 @@ func (l *Lock) Stats() (hits, total int64) { return l.hits, l.total }
 func (m *System) charge(p *sim.Proc, cat stats.Category, cycles sim.Time) {
 	p.Advance(cycles)
 	m.st.Charge(p.ID, cat, cycles)
+}
+
+// DumpState prints every lock's and barrier's state (deadlock
+// diagnosis; ids print in sorted order so two dumps of the same state
+// compare equal).
+func (m *System) DumpState(f func(format string, args ...any)) {
+	ids := make([]int, 0, len(m.locks))
+	for id := range m.locks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := m.locks[id]
+		f("lock=%d home=%d owner=%d queue=%v demandOut=%v", id, l.home, l.tokenOwner, l.reqQueue, l.demandOut)
+		for s := range l.local {
+			ll := &l.local[s]
+			if ll.hasToken || ll.held || len(ll.waitQ) > 0 || ll.requested || ll.demand {
+				var ws []int
+				for _, p := range ll.waitQ {
+					ws = append(ws, p.ID)
+				}
+				f("  ssmp=%d hasToken=%v held=%v waitQ=%v requested=%v demand=%v", s, ll.hasToken, ll.held, ws, ll.requested, ll.demand)
+			}
+		}
+	}
+	ids = ids[:0]
+	for id := range m.barriers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b := m.barriers[id]
+		f("barrier=%d arrived=%d", id, b.arrived)
+		for s := range b.local {
+			lb := &b.local[s]
+			if lb.count > 0 || len(lb.waiting) > 0 {
+				var ws []int
+				for _, p := range lb.waiting {
+					ws = append(ws, p.ID)
+				}
+				f("  ssmp=%d count=%d waiting=%v", s, lb.count, ws)
+			}
+		}
+	}
 }

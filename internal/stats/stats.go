@@ -35,12 +35,64 @@ var categoryNames = [...]string{"User", "Lock", "Barrier", "MGS"}
 // String returns the category name used in the paper's figures.
 func (c Category) String() string { return categoryNames[c] }
 
+// Fault is the fault-injection transport's accounting view: what the
+// deterministic fault plan did to inter-SSMP traffic and what the
+// recovery machinery (internal/msg reliable.go) paid to survive it.
+// All zeros when no fault plan is attached.
+type Fault struct {
+	// Messages is the number of logical inter-SSMP messages that
+	// traversed the fault layer (retransmissions excluded).
+	Messages int64
+	// Dropped counts transmission attempts lost in the network.
+	Dropped int64
+	// Duplicated counts attempts the network delivered twice.
+	Duplicated int64
+	// Delayed counts attempts held beyond their fault-free latency.
+	Delayed int64
+	// DupSuppressed counts deliveries the receiver's sequence check
+	// recognized as replays and dropped before handler dispatch.
+	DupSuppressed int64
+	// Timeouts counts retransmission timers that fired unacknowledged.
+	Timeouts int64
+	// Retransmits counts retransmission attempts launched (equal to
+	// Timeouts today; kept separate so a future fast-retransmit path
+	// stays accountable).
+	Retransmits int64
+	// RetransBytes is the payload bytes carried by retransmissions.
+	RetransBytes int64
+	// Acks counts transport-level acknowledgments generated; AckDropped
+	// of them were lost (forcing a timeout at the sender).
+	Acks, AckDropped int64
+	// DelayCycles sums the extra wire latency the plan injected.
+	DelayCycles int64
+	// RecoveryCycles sums, over delivered messages, the gap between the
+	// fault-free arrival estimate and the actual first delivery — the
+	// added protocol cycles paid to timeouts, backoff, and delays.
+	RecoveryCycles int64
+}
+
+// Active reports whether any fault-layer activity was recorded.
+func (f Fault) Active() bool { return f.Messages != 0 }
+
+// String renders the view in one line.
+func (f Fault) String() string {
+	return fmt.Sprintf(
+		"msgs=%d dropped=%d dup=%d delayed=%d dupsuppressed=%d timeouts=%d retrans=%d retransbytes=%d acks=%d ackdropped=%d delaycycles=%d recoverycycles=%d",
+		f.Messages, f.Dropped, f.Duplicated, f.Delayed, f.DupSuppressed,
+		f.Timeouts, f.Retransmits, f.RetransBytes, f.Acks, f.AckDropped,
+		f.DelayCycles, f.RecoveryCycles)
+}
+
 // Collector accumulates per-processor cycle buckets and named event
 // counters for one run.
 type Collector struct {
 	buckets  [][NumCategories]sim.Time
 	mode     []Category
 	counters map[string]int64
+
+	// Fault is the fault-injection accounting view for the run; the
+	// harness hands the transport a pointer to it at attach time.
+	Fault Fault
 }
 
 // NewCollector returns a collector for nprocs processors, all starting
