@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"mgs/internal/cli"
 	"mgs/internal/core"
 	"mgs/internal/exp"
 	"mgs/internal/harness"
@@ -186,21 +187,12 @@ func timeSweep(app string, p int, mk func(string) harness.App, w int) (float64, 
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mgs-bench: ")
-	var (
-		app   = flag.String("app", "water", "application for the sweep timing")
-		p     = flag.Int("p", 32, "total processors for the sweep timing")
-		small = flag.Bool("small", false, "use reduced problem sizes")
-		out   = flag.String("out", "BENCH_sim.json", "output file")
-	)
-	flag.Parse()
+	t := cli.New("mgs-bench").MachineFlags("water", 32, 0, false)
+	out := flag.String("out", "BENCH_sim.json", "output file")
+	t.Parse()
 
-	mk := exp.NewApp
-	if *small {
-		mk = exp.SmallApp
-	}
-	if err := checkApp(mk, *app); err != nil {
+	mk := t.Apps()
+	if err := checkApp(mk, t.App); err != nil {
 		log.Fatal(err) // fail before the benchmarks burn 20s
 	}
 
@@ -219,11 +211,11 @@ func main() {
 			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
 	}
 
-	seqS, seqSum, err := timeSweep(*app, *p, mk, 1)
+	seqS, seqSum, err := timeSweep(t.App, t.P, mk, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	parS, parSum, err := timeSweep(*app, *p, mk, 0)
+	parS, parSum, err := timeSweep(t.App, t.P, mk, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -231,11 +223,11 @@ func main() {
 		log.Fatalf("parallel sweep diverged: seq cycles %d, par cycles %d", seqSum, parSum)
 	}
 	rep.Sweep = SweepResult{
-		App: *app, P: *p, GoMaxProcs: runtime.GOMAXPROCS(0),
+		App: t.App, P: t.P, GoMaxProcs: runtime.GOMAXPROCS(0),
 		SeqSeconds: seqS, ParSeconds: parS, Speedup: seqS / parS,
 	}
 	fmt.Printf("  sweep %s P=%d: seq %.2fs, par %.2fs (%.2fx, GOMAXPROCS=%d)\n",
-		*app, *p, seqS, parS, seqS/parS, rep.Sweep.GoMaxProcs)
+		t.App, t.P, seqS, parS, seqS/parS, rep.Sweep.GoMaxProcs)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -27,41 +27,32 @@ import (
 	"strconv"
 	"strings"
 
+	"mgs/internal/cli"
 	"mgs/internal/exp"
 	"mgs/internal/fault"
-	"mgs/internal/harness"
 	"mgs/internal/sim"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mgs-chaos: ")
+	t := cli.New("mgs-chaos").ShapeFlags(8, 2, true).SweepFlags()
 	var (
-		p        = flag.Int("p", 8, "total processors")
-		c        = flag.Int("c", 2, "processors per SSMP")
 		apps     = flag.String("apps", strings.Join(exp.AppNames, ","), "comma-separated applications")
 		seeds    = flag.Int("seeds", 5, "seeds per app (1..N)")
 		drop     = flag.Int("drop", 300, "drop rate, basis points (100 = 1%)")
 		dup      = flag.Int("dup", 100, "duplication rate, basis points")
 		delay    = flag.Int("delay", 500, "delay rate, basis points")
 		maxdelay = flag.Int64("maxdelay", int64(fault.DefaultMaxDelay), "max extra delay, cycles")
-		small    = flag.Bool("small", true, "use reduced problem sizes")
-		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
-		asCSV    = flag.Bool("csv", false, "emit CSV rows instead of a table")
 		equiv    = flag.Bool("equivalence", false, "only check the zero-fault identity contract")
 	)
-	flag.Parse()
-	harness.SweepWorkers = *workers
+	t.Parse()
+	asCSV := &t.CSV
 
-	mk := exp.NewApp
-	if *small {
-		mk = exp.SmallApp
-	}
+	mk := t.Apps()
 	names := strings.Split(*apps, ",")
 
 	if *equiv {
 		for _, name := range names {
-			if err := exp.ZeroFaultEquivalence(name, *p, *c, mk); err != nil {
+			if err := exp.ZeroFaultEquivalence(name, t.P, t.C, mk); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-12s zero-fault equivalence OK\n", name)
@@ -76,7 +67,7 @@ func main() {
 	mkPlan := func(seed uint64) fault.Plan {
 		return fault.Plan{Seed: seed, DropBP: *drop, DupBP: *dup, DelayBP: *delay, MaxDelay: sim.Time(*maxdelay)}
 	}
-	points, err := exp.ChaosSweep(names, seedList, *p, *c, mkPlan, mk)
+	points, err := exp.ChaosSweep(names, seedList, t.P, t.C, mkPlan, mk)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,24 +12,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
 
-	"mgs/internal/exp"
+	"mgs/internal/cli"
 	"mgs/internal/harness"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mgs-run: ")
+	t := cli.New("mgs-run").MachineFlags("jacobi", 32, 4, false)
 	var (
-		app      = flag.String("app", "jacobi", "application: "+strings.Join(append(append([]string{}, exp.AppNames...), "water-kernel", "water-kernel-tiled"), ", "))
-		p        = flag.Int("p", 32, "total processors")
-		c        = flag.Int("c", 4, "processors per SSMP (cluster size)")
 		delay    = flag.Int64("delay", 1000, "inter-SSMP message delay in cycles")
 		pagesize = flag.Int("pagesize", 1024, "page size in bytes")
-		small    = flag.Bool("small", false, "use reduced problem sizes")
 		counters = flag.Bool("counters", false, "print protocol event counters")
 		no1w     = flag.Bool("no1w", false, "disable the single-writer optimization")
 		parinv   = flag.Bool("parinv", false, "parallel (not serial) release invalidations")
@@ -37,11 +31,11 @@ func main() {
 		lazy     = flag.Bool("lazy", false, "lazy (TreadMarks-style) instead of eager release consistency")
 		mesh     = flag.Bool("mesh", false, "contended 2D-mesh inter-SSMP network (250 cycles/hop)")
 	)
-	flag.Parse()
+	t.Parse()
 
-	cfg := exp.Config(*p, *c)
-	cfg.Delay = sim.Time(*delay)
-	cfg.PageSize = *pagesize
+	cfg := t.Config(
+		harness.WithInterSSMPDelay(sim.Time(*delay)),
+		harness.WithPageSize(*pagesize))
 	cfg.Protocol.SingleWriter = !*no1w
 	cfg.Protocol.SerialInv = !*parinv
 	cfg.Protocol.UpdateProtocol = *update
@@ -51,16 +45,12 @@ func main() {
 		cfg.Msg.InterPerHop = 250
 	}
 
-	mk := exp.NewApp
-	if *small {
-		mk = exp.SmallApp
-	}
-	res, err := harness.RunApp(mk(*app), cfg)
+	res, err := harness.RunApp(t.Apps()(t.App), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s on P=%d C=%d (delay %d, %dB pages)\n", *app, *p, *c, *delay, *pagesize)
+	fmt.Printf("%s on P=%d C=%d (delay %d, %dB pages)\n", t.App, t.P, t.C, *delay, *pagesize)
 	fmt.Printf("  execution time: %d cycles\n", res.Cycles)
 	b := res.Breakdown
 	total := b.AvgTotal()

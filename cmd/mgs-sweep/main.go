@@ -26,6 +26,7 @@ import (
 	"os"
 	"strconv"
 
+	"mgs/internal/cli"
 	"mgs/internal/exp"
 	"mgs/internal/framework"
 	"mgs/internal/harness"
@@ -54,46 +55,35 @@ func emitCSV(fields ...any) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mgs-sweep: ")
+	t := cli.New("mgs-sweep").MachineFlags("", 32, 4, false).SweepFlags()
 	var (
-		p        = flag.Int("p", 32, "total processors")
-		app      = flag.String("app", "", "application for -app sweeps and ablations")
-		small    = flag.Bool("small", false, "use reduced problem sizes")
 		table4   = flag.Bool("table4", false, "reproduce Table 4")
 		fig11    = flag.Bool("fig11", false, "reproduce Figure 11 (lock hit ratios)")
 		fig12    = flag.Bool("fig12", false, "reproduce Figure 12 (Water kernel)")
 		all      = flag.Bool("all", false, "reproduce Figures 6-12")
 		ablation = flag.String("ablation", "", "ablation: 1writer, serialinv, update, pagesize, mesh, lazy")
-		c        = flag.Int("c", 4, "cluster size for -ablation pagesize")
-		workers  = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential)")
 	)
-	flag.BoolVar(&asCSV, "csv", false, "emit CSV rows instead of formatted tables")
-	flag.Parse()
-	harness.SweepWorkers = *workers
-
-	mk := exp.NewApp
-	if *small {
-		mk = exp.SmallApp
-	}
+	t.Parse()
+	asCSV = t.CSV
+	mk := t.Apps()
 
 	switch {
 	case *table4:
-		runTable4(*p, mk)
+		runTable4(t.P, mk)
 	case *fig11:
-		runFig11(*p, mk)
+		runFig11(t.P, mk)
 	case *fig12:
-		runFig12(*p)
+		runFig12(t.P)
 	case *ablation != "":
-		runAblation(*ablation, *app, *p, *c, mk)
+		runAblation(*ablation, t.App, t.P, t.C, mk)
 	case *all:
 		for _, name := range exp.AppNames {
-			runFigure(name, *p, mk)
+			runFigure(name, t.P, mk)
 		}
-		runFig11(*p, mk)
-		runFig12(*p)
-	case *app != "":
-		runFigure(*app, *p, mk)
+		runFig11(t.P, mk)
+		runFig12(t.P)
+	case t.App != "":
+		runFigure(t.App, t.P, mk)
 	default:
 		flag.Usage()
 	}

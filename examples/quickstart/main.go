@@ -14,7 +14,7 @@ import (
 func main() {
 	// 16 processors grouped into SSMPs of 4: hardware cache coherence
 	// inside each SSMP, the MGS software protocol between them.
-	cfg := mgs.DefaultConfig(16, 4)
+	cfg := mgs.NewConfig(16, 4)
 	m := mgs.NewMachine(cfg)
 
 	// Shared memory is allocated up front; Set*/Get* initialize and

@@ -1,0 +1,102 @@
+// Package cli factors out the flag surface the mgs command-line tools
+// share: every simulation tool picks an application, a machine shape
+// (-p, -c), a problem size (-small), and — for the sweep-style tools —
+// a worker count and CSV switch. Before this package each main
+// re-declared the same flags with drifting defaults; now a tool states
+// its defaults once and the registration, parsing side effects, and
+// config construction live here.
+package cli
+
+import (
+	"flag"
+	"log"
+	"strings"
+
+	"mgs/internal/exp"
+	"mgs/internal/harness"
+)
+
+// Tool holds the shared flag values of one mgs command-line tool.
+// Register the flag groups a tool needs (MachineFlags, SweepFlags),
+// call flag.Parse via Parse, then read the fields.
+type Tool struct {
+	// App is the -app selection (or -apps list for list-style tools).
+	App string
+	// P and C are the machine shape: total processors and cluster size.
+	P, C int
+	// Small selects the reduced problem sizes (-small).
+	Small bool
+	// Workers is the -workers concurrency for sweep-style tools.
+	Workers int
+	// CSV selects machine-readable output (-csv).
+	CSV bool
+
+	hasWorkers bool
+}
+
+// New configures the standard tool logging — bare messages prefixed
+// with the tool name — and returns an empty Tool.
+func New(name string) *Tool {
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+	return &Tool{}
+}
+
+// MachineFlags registers -app, -p, -c, and -small with the tool's
+// defaults. A cDef <= 0 skips -c (for tools that sweep cluster sizes
+// or do not take one).
+func (t *Tool) MachineFlags(appDef string, pDef, cDef int, smallDef bool) *Tool {
+	flag.StringVar(&t.App, "app", appDef, "application: "+strings.Join(AppList(), ", "))
+	return t.ShapeFlags(pDef, cDef, smallDef)
+}
+
+// ShapeFlags registers -p, -c, and -small only (for tools with their
+// own application-selection flag). A cDef <= 0 skips -c.
+func (t *Tool) ShapeFlags(pDef, cDef int, smallDef bool) *Tool {
+	flag.IntVar(&t.P, "p", pDef, "total processors")
+	if cDef > 0 {
+		flag.IntVar(&t.C, "c", cDef, "processors per SSMP (cluster size)")
+	}
+	flag.BoolVar(&t.Small, "small", smallDef, "use reduced problem sizes")
+	return t
+}
+
+// SweepFlags registers -workers and -csv for tools that run many
+// independent simulations.
+func (t *Tool) SweepFlags() *Tool {
+	flag.IntVar(&t.Workers, "workers", 0, "concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
+	flag.BoolVar(&t.CSV, "csv", false, "emit CSV rows instead of formatted output")
+	t.hasWorkers = true
+	return t
+}
+
+// Parse parses the process flags and applies the post-parse side
+// effects (the sweep worker count).
+func (t *Tool) Parse() *Tool {
+	flag.Parse()
+	if t.hasWorkers {
+		harness.SweepWorkers = t.Workers
+	}
+	return t
+}
+
+// Apps returns the application constructor selected by -small.
+func (t *Tool) Apps() func(string) harness.App {
+	if t.Small {
+		return exp.SmallApp
+	}
+	return exp.NewApp
+}
+
+// Config builds the paper's experiment configuration for the parsed
+// machine shape, with any functional options applied on top.
+func (t *Tool) Config(opts ...harness.Option) harness.Config {
+	return exp.Config(t.P, t.C, opts...)
+}
+
+// AppList names every application the exp constructors accept, the
+// paper suite first.
+func AppList() []string {
+	return append(append([]string{}, exp.AppNames...),
+		"water-kernel", "water-kernel-tiled", "lu")
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mgs/internal/cache"
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 	"mgs/internal/vm"
@@ -19,6 +20,17 @@ func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 	// lock "from the future", inverting virtual-time lock order and
 	// charging enormous phantom waits to earlier faulters.
 	p.Yield()
+	// Attribute every cycle of this fault — entry, protocol waits, the
+	// woken continuation — to the page being resolved.
+	pk, pid := s.st.ProfSet(p.ID, obs.ObjPage, int64(v))
+	defer s.st.ProfSet(p.ID, pk, pid)
+	if s.Obs.Tracing() {
+		// One Local Client engine span per fault, entry to resolution.
+		t0 := p.Clock()
+		defer func() {
+			s.emitEngine(t0, p.ID, v, "LCLIENT", p.Clock()-t0, "proc %d write=%v", p.ID, write)
+		}()
+	}
 	c := &s.cfg.Costs
 	s.spend(p, stats.MGS, c.FaultEntry)
 	if write {
@@ -39,7 +51,7 @@ func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 	case cp.state == PWrite || (cp.state == PRead && !write):
 		// Arc 1 / arcs 3,4: mapping exists locally; fill the TLB.
 		s.spend(p, stats.MGS, c.TLBFill)
-		s.trace("t=%d page=%d LOCALFILL proc %d write=%v state=%v", p.Clock(), v, p.ID, write, cp.state)
+		s.emitPage(p.Clock(), p.ID, v, "LOCALFILL", "proc %d write=%v state=%v", p.ID, write, cp.state)
 		s.st.Count("tlbfill.local", 1)
 		priv := vm.Read
 		if cp.state == PWrite && write {
@@ -128,6 +140,7 @@ func (s *System) newDir(cp *clientPage) *cache.Dir {
 func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 	c := &s.cfg.Costs
 	o := cp.ownerProc
+	s.emitEngine(at, -1, cp.page, "RCLIENT", 0, "owner %d for proc %d", o, requester.ID)
 	if cp.state == PRead {
 		sp := s.server(cp.page)
 		isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
@@ -160,11 +173,11 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 			s.net.Send(o, sp.homeProc, at, c.CtrlBytes, 0, func(at2 sim.Time) {
 				if cp.gen != gen || cp.state != PWrite {
 					s.st.Count("wnotify.stale", 1)
-					s.trace("t=%d page=%d WNOTIFY from ssmp %d STALE (gen %d != %d or state %v)", at2, sp.page, ssmp, gen, cp.gen, cp.state)
+					s.emitPage(at2, -1, sp.page, "WNOTIFY", "from ssmp %d STALE (gen %d != %d or state %v)", ssmp, gen, cp.gen, cp.state)
 					return
 				}
 				s.st.Count("wnotify", 1)
-				s.trace("t=%d page=%d WNOTIFY from ssmp %d (state %d)", at2, sp.page, ssmp, sp.state)
+				s.emitPage(at2, -1, sp.page, "WNOTIFY", "from ssmp %d (state %d)", ssmp, sp.state)
 				sp.readDir &^= bit(ssmp)
 				sp.writeDir |= bit(ssmp)
 				if sp.state == sRead {

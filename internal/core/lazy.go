@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 	"mgs/internal/vm"
@@ -53,6 +54,7 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 		if !ok {
 			return
 		}
+		s.st.ProfSet(p.ID, obs.ObjPage, int64(v))
 		cp := ss.pages[v]
 		s.lockProc(cp, p, stats.MGS)
 		if cp.state != PWrite {
@@ -63,12 +65,12 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 			// completing early would hand a lock over before the
 			// captured data is visible to the next acquirer.
 			if cp.relInFlight > 0 {
-				s.trace("t=%d page=%d LRELWAIT proc %d inflight=%d", p.Clock(), v, p.ID, cp.relInFlight)
+				s.emitPage(p.Clock(), p.ID, v, "LRELWAIT", "proc %d inflight=%d", p.ID, cp.relInFlight)
 				s.st.Count("lrel.wait", 1)
 				cp.relWaiters = append(cp.relWaiters, p)
 				s.parkCharge(p, stats.MGS)
 			} else {
-				s.trace("t=%d page=%d LRELSKIP proc %d state=%v", p.Clock(), v, p.ID, cp.state)
+				s.emitPage(p.Clock(), p.ID, v, "LRELSKIP", "proc %d state=%v", p.ID, cp.state)
 			}
 			s.unlock(cp, p.Clock())
 			continue
@@ -95,7 +97,7 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 			s.st.Count("lrel", 1)
 		}
 		fetchVer, fetchGen := cp.version, cp.gen
-		s.trace("t=%d page=%d LREL proc %d home=%v diff=%d ver=%d", p.Clock(), v, p.ID, isHome, len(diff), sp.version)
+		s.emitPage(p.Clock(), p.ID, v, "LREL", "proc %d home=%v diff=%d ver=%d", p.ID, isHome, len(diff), sp.version)
 		s.spend(p, stats.MGS, s.net.SendCost())
 		cp.relInFlight++
 		cpRef, spRef, dRef := cp, sp, diff
@@ -216,7 +218,7 @@ func (s *System) AcquireSync(p *sim.Proc) {
 			diff := ComputeDiff(cp.twin, cp.frame.Data)
 			s.shootLocal(ss, cp, p)
 			s.teardown(ss, cp, false)
-			s.trace("t=%d page=%d ACQFLUSH proc %d diff=%d", p.Clock(), v, p.ID, len(diff))
+			s.emitPage(p.Clock(), p.ID, v, "ACQFLUSH", "proc %d diff=%d", p.ID, len(diff))
 			s.spend(p, stats.MGS, s.net.SendCost())
 			cp.relInFlight++
 			spRef, cpRef := sp, cp
@@ -237,7 +239,7 @@ func (s *System) AcquireSync(p *sim.Proc) {
 		// Clean stale copy: the write notice alone kills it, no
 		// communication needed (TreadMarks' acquire-side invalidation).
 		s.st.Count("acq.inval", 1)
-		s.trace("t=%d page=%d ACQINVAL proc %d ver=%d<%d", p.Clock(), v, p.ID, cp.version, sp.version)
+		s.emitPage(p.Clock(), p.ID, v, "ACQINVAL", "proc %d ver=%d<%d", p.ID, cp.version, sp.version)
 		s.shootLocal(ss, cp, p)
 		s.teardown(ss, cp, false)
 		s.unlock(cp, p.Clock())

@@ -20,7 +20,7 @@ type ptLock struct {
 func (s *System) lockProc(cp *clientPage, p *sim.Proc, cat stats.Category) {
 	s.spend(p, cat, s.cfg.Costs.PTLockOp)
 	if s.DebugChecks {
-		s.trace("t=%d page=%d LOCKPROC proc=%d held=%v", p.Clock(), cp.page, p.ID, cp.lk.held)
+		s.emitPage(p.Clock(), p.ID, cp.page, "LOCKPROC", "held=%v", cp.lk.held)
 	}
 	if !cp.lk.held {
 		cp.lk.held = true
@@ -30,7 +30,7 @@ func (s *System) lockProc(cp *clientPage, p *sim.Proc, cat stats.Category) {
 	cp.lk.waiters = append(cp.lk.waiters, func(at sim.Time) { p.Wake(at) })
 	p.Park()
 	if s.DebugChecks && p.Clock()-c0 > 100_000 {
-		s.trace("t=%d LONGPTLOCK proc=%d page=%d wait=%d", p.Clock(), p.ID, cp.page, p.Clock()-c0)
+		s.emitPage(p.Clock(), p.ID, cp.page, "LONGPTLOCK", "wait=%d", p.Clock()-c0)
 	}
 	s.st.Charge(p.ID, cat, p.Clock()-c0)
 }
@@ -50,7 +50,7 @@ func (s *System) lockHandler(cp *clientPage, at sim.Time, fn func(at sim.Time)) 
 // any. Callable from processor or handler context.
 func (s *System) unlock(cp *clientPage, at sim.Time) {
 	if s.DebugChecks {
-		s.trace("t=%d page=%d UNLOCK waiters=%d", at, cp.page, len(cp.lk.waiters))
+		s.emitPage(at, -1, cp.page, "UNLOCK", "waiters=%d", len(cp.lk.waiters))
 	}
 	if !cp.lk.held {
 		panic("core: unlock of free page-table lock")

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 	"mgs/internal/vm"
@@ -11,11 +12,12 @@ import (
 // onRequest is the Server's RREQ/WREQ handler (arcs 17–19, 22), running
 // on the page's home processor.
 func (s *System) onRequest(sp *serverPage, cp *clientPage, p *sim.Proc, write bool, at sim.Time) {
+	s.emitEngine(at, -1, sp.page, "SERVER", 0, "home %d for proc %d write=%v", sp.homeProc, p.ID, write)
 	if sp.state == sRel {
 		// Arc 22: queue behind the release in progress.
 		sp.pendReq = append(sp.pendReq, pendingReq{proc: p.ID, write: write})
 		s.st.Count("req.pended", 1)
-		s.trace("t=? page=%d REQ from proc %d write=%v PENDED", sp.page, p.ID, write)
+		s.emitPage(at, p.ID, sp.page, "REQ", "from proc %d write=%v PENDED", p.ID, write)
 		return
 	}
 	s.serveData(sp, cp, p, write, at)
@@ -76,7 +78,7 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 	} else {
 		s.st.Count("rdat.home", 1)
 	}
-	s.trace("t=%d page=%d SERVE to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", at, sp.page, p.ID, r, write, sp.readDir, sp.writeDir, sp.homeProc)
+	s.emitPage(at, p.ID, sp.page, "SERVE", "to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", p.ID, r, write, sp.readDir, sp.writeDir, sp.homeProc)
 	// The copy reflects the home version as of SERVE time: a merge that
 	// lands while the data is on the wire must leave the copy stale.
 	servedVer := sp.version
@@ -126,7 +128,7 @@ func (s *System) onData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool,
 	if write {
 		priv = vm.Write
 	}
-	s.trace("t=%d page=%d DATA at proc %d write=%v", at, cp.page, p.ID, write)
+	s.emitPage(at, p.ID, cp.page, "DATA", "at proc %d write=%v", p.ID, write)
 	s.insertTLB(ss, p.ID, cp.page, priv)
 	s.unlock(cp, at)
 	p.Wake(at)
@@ -144,6 +146,10 @@ func (s *System) ReleaseAll(p *sim.Proc) {
 	c := &s.cfg.Costs
 	ss := s.ssmps[s.ssmpOf(p.ID)]
 	d := ss.duqs[s.within(p.ID)]
+	// Attribute each page's release work to that page; restore the
+	// caller's context (the lock or barrier driving the release) after.
+	pk, pid := s.st.ProfContext(p.ID)
+	defer s.st.ProfSet(p.ID, pk, pid)
 	if c.LazyRelease {
 		s.releaseLazy(p, ss, d)
 		return
@@ -153,6 +159,7 @@ func (s *System) ReleaseAll(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		s.st.ProfSet(p.ID, obs.ObjPage, int64(v))
 		cp := ss.pages[v]
 		s.lockProc(cp, p, stats.MGS)
 		sp := s.server(v)
@@ -163,11 +170,11 @@ func (s *System) ReleaseAll(p *sim.Proc) {
 			// not consistent until the round completes); otherwise the
 			// release is already satisfied.
 			if sp.state != sRel {
-				s.trace("t=%d page=%d RELSKIP proc %d state=%v", p.Clock(), v, p.ID, cp.state)
+				s.emitPage(p.Clock(), p.ID, v, "RELSKIP", "proc %d state=%v", p.ID, cp.state)
 				s.unlock(cp, p.Clock())
 				continue
 			}
-			s.trace("t=%d page=%d RELWAIT proc %d", p.Clock(), v, p.ID)
+			s.emitPage(p.Clock(), p.ID, v, "RELWAIT", "proc %d", p.ID)
 		}
 		s.st.Count("rel", 1)
 		s.spend(p, stats.MGS, s.net.SendCost())
@@ -195,7 +202,7 @@ func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
 		// round never saw. Those releases re-run as a fresh round.
 		if sp.captured&bit(s.ssmpOf(relProc)) != 0 {
 			sp.pendReRel = append(sp.pendReRel, relProc)
-			s.trace("t=%d page=%d REL from proc %d REQUEUED (ssmp already captured)", at, sp.page, relProc)
+			s.emitPage(at, relProc, sp.page, "REL", "from proc %d REQUEUED (ssmp already captured)", relProc)
 			return
 		}
 		if s.cfg.Costs.UpdateProtocol && sp.refreshDone && s.ssmpOf(relProc) == s.ssmpOf(sp.homeProc) {
@@ -203,20 +210,20 @@ func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
 			// release's in-place writes; folding it in would RACK a
 			// release whose data the refreshes never carried.
 			sp.pendReRel = append(sp.pendReRel, relProc)
-			s.trace("t=%d page=%d REL from proc %d REQUEUED (post-image home release)", at, sp.page, relProc)
+			s.emitPage(at, relProc, sp.page, "REL", "from proc %d REQUEUED (post-image home release)", relProc)
 			return
 		}
 		sp.pendRel = append(sp.pendRel, relProc)
-		s.trace("t=%d page=%d REL from proc %d PENDED", at, sp.page, relProc)
+		s.emitPage(at, relProc, sp.page, "REL", "from proc %d PENDED", relProc)
 		return
 	}
 	targets := sp.readDir | sp.writeDir
 	if targets == 0 {
-		s.trace("t=%d page=%d REL from proc %d NOTARGETS", at, sp.page, relProc)
+		s.emitPage(at, relProc, sp.page, "REL", "from proc %d NOTARGETS", relProc)
 		s.sendRack(sp, relProc, at)
 		return
 	}
-	s.trace("t=%d page=%d REL from proc %d -> round targets=%b writeDir=%b", at, sp.page, relProc, targets, sp.writeDir)
+	s.emitPage(at, relProc, sp.page, "REL", "from proc %d -> round targets=%b writeDir=%b", relProc, targets, sp.writeDir)
 	sp.state = sRel
 	sp.count = bits.OnesCount64(targets)
 	sp.pendRel = append(sp.pendRel, relProc)
@@ -270,7 +277,7 @@ func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
 		at = s.net.Extend(o, at, ss.domain.CleanPage(cp.frame, cp.dir))
 		cp.invOneW = oneW
 		cp.invCount = bits.OnesCount64(cp.tlbDir)
-		s.trace("t=%d page=%d INVSTART ssmp %d tlbDir=%b state=%v oneW=%v", at, cp.page, cp.ssmp, cp.tlbDir, cp.state, oneW)
+		s.emitPage(at, -1, cp.page, "INVSTART", "ssmp %d tlbDir=%b state=%v oneW=%v", cp.ssmp, cp.tlbDir, cp.state, oneW)
 		if cp.invCount == 0 {
 			s.finishInv(sp, cp, at)
 			return
@@ -335,7 +342,7 @@ func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
 	// otherwise its release could complete before the captured data
 	// reaches the home, and the next lock holder would read stale data.
 
-	s.trace("t=%d page=%d FINISHINV ssmp %d state=%v oneW=%v", at, cp.page, cp.ssmp, cp.state, cp.invOneW)
+	s.emitPage(at, -1, cp.page, "FINISHINV", "ssmp %d state=%v oneW=%v", cp.ssmp, cp.state, cp.invOneW)
 	if s.cfg.Costs.UpdateProtocol {
 		// Update protocol: capture the copy's modifications but keep
 		// the copy itself; the round's refresh phase will overwrite it
@@ -445,7 +452,7 @@ func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at si
 // processor.
 func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, at sim.Time) {
 	c := &s.cfg.Costs
-	s.trace("t=%d page=%d INVREPLY kind=%d diff=%d count->%d", at, sp.page, kind, len(d), sp.count-1)
+	s.emitPage(at, -1, sp.page, "INVREPLY", "kind=%d diff=%d count->%d", kind, len(d), sp.count-1)
 	if kind == ackReply && sp.keepWriter >= 0 && s.ssmpOf(from) == sp.keepWriter {
 		// The supposedly retained single writer reports its copy already
 		// gone: its write_dir bit was a phantom. That happens when a
@@ -560,7 +567,7 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 		// it with a follow-up INV before the round completes (and thus
 		// before any RACK — so no post-release lock grant can read the
 		// stale copy).
-		s.trace("t=%d page=%d DEMOTE retained ssmp %d", at, sp.page, sp.keepWriter)
+		s.emitPage(at, -1, sp.page, "DEMOTE", "retained ssmp %d", sp.keepWriter)
 		s.st.Count("1wdemote", 1)
 		sp.invQueue = append(sp.invQueue, invTarget{ssmp: sp.keepWriter, oneW: false})
 		sp.keepWriter = -1
@@ -571,7 +578,7 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 	}
 	sp.sawDiff = false
 	sp.homeDirty = false
-	s.trace("t=%d page=%d FINISHREL keep=%d pendRel=%v pendReq=%v", at, sp.page, sp.keepWriter, sp.pendRel, sp.pendReq)
+	s.emitPage(at, -1, sp.page, "FINISHREL", "keep=%d pendRel=%v pendReq=%v", sp.keepWriter, sp.pendRel, sp.pendReq)
 	sp.readDir = 0
 	sp.writeDir = 0
 	sp.state = sRead
@@ -667,7 +674,7 @@ func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
 	sp.streak = 0
 	s.space.Rehome(sp.page, newHome)
 	s.st.Count("migrate", 1)
-	s.trace("t=%d page=%d MIGRATE home %d -> %d", at, sp.page, oldHome, newHome)
+	s.emitPage(at, -1, sp.page, "MIGRATE", "home %d -> %d", oldHome, newHome)
 	// The page image travels to the new home's memory.
 	s.net.Send(oldHome, newHome, at, s.cfg.PageSize+s.cfg.Costs.CtrlBytes, 0, func(sim.Time) {})
 }

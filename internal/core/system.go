@@ -44,6 +44,7 @@ import (
 	"mgs/internal/cache"
 	"mgs/internal/mem"
 	"mgs/internal/msg"
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 	"mgs/internal/vm"
@@ -186,17 +187,60 @@ type System struct {
 	// steady-state twinning does not allocate.
 	pageBufs [][]byte
 
-	// TraceFn, if set, receives a line per protocol event (tests/tools).
-	TraceFn func(format string, args ...any)
+	// Obs is the observability spine. Nil (or an observer with no
+	// sinks) keeps the trace path structurally detached: emitPage
+	// checks Tracing() before any event is built.
+	Obs *obs.Observer
 	// DebugChecks enables extra invariant checking on hot paths (tests).
 	DebugChecks bool
 }
 
-// trace logs a protocol event when tracing is enabled.
-func (s *System) trace(format string, args ...any) {
-	if s.TraceFn != nil {
-		s.TraceFn(format, args...)
+// emitPage publishes one protocol event about a page. Detail formatting
+// happens only when a sink is attached; emission charges no simulated
+// cycles.
+func (s *System) emitPage(t sim.Time, proc int, v vm.Page, name, format string, args ...any) {
+	if !s.Obs.Tracing() {
+		return
 	}
+	var detail string
+	if format != "" {
+		detail = fmt.Sprintf(format, args...)
+	}
+	s.Obs.Emit(obs.Event{
+		T: t, Proc: proc, Cat: obs.Protocol, Name: name,
+		Kind: obs.ObjPage, ID: int64(v), Detail: detail,
+	})
+}
+
+// emitProc publishes one protocol event not tied to a page.
+func (s *System) emitProc(t sim.Time, proc int, name, format string, args ...any) {
+	if !s.Obs.Tracing() {
+		return
+	}
+	var detail string
+	if format != "" {
+		detail = fmt.Sprintf(format, args...)
+	}
+	s.Obs.Emit(obs.Event{T: t, Proc: proc, Cat: obs.Protocol, Name: name, Detail: detail})
+}
+
+// emitEngine publishes one software-engine handshake event: a Local
+// Client invocation (a span covering the whole fault, emitted at
+// completion but timestamped at entry, so Chrome renders it as a
+// duration bar on the faulting processor's track), or a Remote Client /
+// Server engine dispatch (instants on the engine track, proc -1).
+func (s *System) emitEngine(t sim.Time, proc int, v vm.Page, name string, dur sim.Time, format string, args ...any) {
+	if !s.Obs.Tracing() {
+		return
+	}
+	var detail string
+	if format != "" {
+		detail = fmt.Sprintf(format, args...)
+	}
+	s.Obs.Emit(obs.Event{
+		T: t, Proc: proc, Cat: obs.Engine, Name: name,
+		Kind: obs.ObjPage, ID: int64(v), Dur: dur, Detail: detail,
+	})
 }
 
 // ssmpState is the per-SSMP software state.
@@ -236,6 +280,24 @@ func New(eng *sim.Engine, net *msg.Network, space *vm.Space, st *stats.Collector
 		}
 		s.ssmps = append(s.ssmps, ss)
 	}
+	if reg := st.Registry(); reg != nil {
+		tlbs := s.tlbs
+		reg.Gauge("tlb.fills", func() int64 {
+			var n int64
+			for _, t := range tlbs {
+				n += t.Fills
+			}
+			return n
+		})
+		reg.Gauge("tlb.evictions", func() int64 {
+			var n int64
+			for _, t := range tlbs {
+				n += t.Evictions
+			}
+			return n
+		})
+		reg.Gauge("engine.dispatched", eng.Dispatched)
+	}
 	return s
 }
 
@@ -263,7 +325,7 @@ func (s *System) parkCharge(p *sim.Proc, cat stats.Category) {
 	c0 := p.Clock()
 	p.Park()
 	if s.DebugChecks && p.Clock()-c0 > 100_000 {
-		s.trace("t=%d LONGPARK proc=%d cat=%v wait=%d", p.Clock(), p.ID, cat, p.Clock()-c0)
+		s.emitProc(p.Clock(), p.ID, "LONGPARK", "cat=%v wait=%d", cat, p.Clock()-c0)
 	}
 	s.st.Charge(p.ID, cat, p.Clock()-c0)
 }

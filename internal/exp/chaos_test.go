@@ -1,13 +1,13 @@
 package exp
 
 import (
-	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 
 	"mgs/internal/fault"
 	"mgs/internal/harness"
+	"mgs/internal/obs"
 )
 
 // The chaos suite's contract, pinned here: (1) every application
@@ -54,14 +54,12 @@ func TestChaosSweepAllApps(t *testing.T) {
 // transport tracers attached and returns (result, full trace).
 func chaosTraceRun(t *testing.T, name string, p, c int, plan fault.Plan) (harness.Result, string) {
 	t.Helper()
-	cfg := Config(p, c)
-	cfg.Fault = plan
+	var b strings.Builder
+	cfg := Config(p, c,
+		harness.WithFaultPlan(plan),
+		harness.WithObserver(obs.New().AddSink(obs.NewTextSink(&b))))
 	app := SmallApp(name)
 	m := harness.NewMachine(cfg)
-	var b strings.Builder
-	emit := func(f string, args ...any) { fmt.Fprintf(&b, f+"\n", args...) }
-	m.DSM.TraceFn = emit
-	m.Net.TraceFn = emit
 	app.Setup(m)
 	res, err := m.Run(app.Body)
 	if err != nil {

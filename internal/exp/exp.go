@@ -64,8 +64,11 @@ func SmallApp(name string) harness.App {
 }
 
 // Config returns the paper's experiment configuration: 1K-byte pages,
-// 1000-cycle inter-SSMP delay, null MGS calls at C = P (§5.2.1).
-func Config(p, c int) harness.Config { return harness.DefaultConfig(p, c) }
+// 1000-cycle inter-SSMP delay, null MGS calls at C = P (§5.2.1), with
+// any functional options applied on top.
+func Config(p, c int, opts ...harness.Option) harness.Config {
+	return harness.NewConfig(p, c, opts...)
+}
 
 // Table3 measures the micro costs (Table 3).
 func Table3() harness.Micro { return harness.MeasureMicro() }

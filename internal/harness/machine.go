@@ -12,6 +12,7 @@ import (
 	"mgs/internal/fault"
 	"mgs/internal/msg"
 	"mgs/internal/msync"
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 	"mgs/internal/vm"
@@ -35,6 +36,15 @@ type Config struct {
 	// bit-identical to one that never heard of faults.
 	Fault fault.Plan
 
+	// Obs, when non-nil, is the observability spine the machine reports
+	// through: trace sinks see typed protocol/transport/sync events, the
+	// metrics registry collects the run's counters, gauges, and
+	// histograms, and (if profiling is enabled on the observer) every
+	// simulated cycle is attributed to a (processor, component, object)
+	// key. Nil keeps every emission path structurally detached; runs are
+	// bit-identical either way.
+	Obs *obs.Observer
+
 	Protocol core.Costs
 	Cache    cache.Costs
 	CacheHW  cache.Params
@@ -42,13 +52,37 @@ type Config struct {
 	Sync     msync.Costs
 }
 
-// DefaultConfig returns the calibrated configuration for a P-processor
-// machine with clusters of c processors and the paper's parameters:
-// 1K-byte pages and a 1000-cycle inter-SSMP delay. When c == P the
-// software layer is disabled, exactly as in the paper's 32-processor
-// runs.
-func DefaultConfig(p, c int) Config {
-	return Config{
+// Option mutates a Config under construction (NewConfig).
+type Option func(*Config)
+
+// WithPageSize sets the virtual page size in bytes (power of two).
+func WithPageSize(bytes int) Option { return func(c *Config) { c.PageSize = bytes } }
+
+// WithTLBSize sets the per-processor software TLB capacity.
+func WithTLBSize(entries int) Option { return func(c *Config) { c.TLBSize = entries } }
+
+// WithInterSSMPDelay sets the fixed inter-SSMP message latency (the
+// paper's emulated-LAN knob, Figure 9's x-axis).
+func WithInterSSMPDelay(d sim.Time) Option { return func(c *Config) { c.Delay = d } }
+
+// WithDisabled forces the software coherence layer off or on,
+// overriding the c == P default.
+func WithDisabled(disabled bool) Option { return func(c *Config) { c.Disabled = disabled } }
+
+// WithFaultPlan attaches a deterministic fault-injection plan to the
+// inter-SSMP transport.
+func WithFaultPlan(p fault.Plan) Option { return func(c *Config) { c.Fault = p } }
+
+// WithObserver attaches an observability spine to the machine.
+func WithObserver(o *obs.Observer) Option { return func(c *Config) { c.Obs = o } }
+
+// NewConfig returns the calibrated configuration for a P-processor
+// machine with clusters of c processors and the paper's parameters —
+// 1K-byte pages, a 64-entry software TLB, and a 1000-cycle inter-SSMP
+// delay — then applies the options in order. When c == P the software
+// layer is disabled, exactly as in the paper's 32-processor runs.
+func NewConfig(p, c int, opts ...Option) Config {
+	cfg := Config{
 		P: p, C: c, PageSize: 1024, TLBSize: 64, Delay: 1000,
 		Disabled: c == p,
 		Protocol: core.DefaultCosts(),
@@ -63,7 +97,17 @@ func DefaultConfig(p, c int) Config {
 		},
 		Sync: msync.DefaultCosts(),
 	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
+
+// DefaultConfig returns the calibrated configuration for a P-processor
+// machine with clusters of c processors.
+//
+// Deprecated: use NewConfig, which takes functional options.
+func DefaultConfig(p, c int) Config { return NewConfig(p, c) }
 
 // Machine is one assembled DSSMP.
 type Machine struct {
@@ -98,8 +142,13 @@ func NewMachine(cfg Config) *Machine {
 	m.Net = msg.NewNetwork(m.Eng, m.Procs, cfg.C, cfg.Msg)
 	m.Stats = stats.NewCollector(cfg.P)
 	st := m.Stats
+	// Attach the observability spine before the subsystems construct, so
+	// their gauges and histograms register on the observer's registry
+	// and the profiler (if armed) sees every charge from cycle zero.
+	st.Use(cfg.Obs)
 	m.Net.OnHandler = func(proc int, cyc sim.Time) { st.Charge(proc, stats.MGS, cyc) }
 	m.Net.AttachFault(cfg.Fault, &st.Fault)
+	m.Net.Obs = cfg.Obs
 	space := vm.NewSpace(cfg.PageSize, cfg.P)
 	m.DSM = core.New(m.Eng, m.Net, space, st, m.Procs, core.Config{
 		NProcs: cfg.P, ClusterSize: cfg.C, PageSize: cfg.PageSize,
@@ -107,7 +156,9 @@ func NewMachine(cfg Config) *Machine {
 		CacheParams: cfg.CacheHW, CacheCosts: cfg.Cache,
 		Disabled: cfg.Disabled,
 	})
+	m.DSM.Obs = cfg.Obs
 	m.Sync = msync.New(m.Eng, m.DSM, m.Net, st, m.Procs, cfg.Sync)
+	m.Sync.Obs = cfg.Obs
 	return m
 }
 

@@ -27,9 +27,15 @@ import (
 // with a time offset (At with a bare time value merely reschedules).
 // Handlers that are legitimately free (their cost is charged upstream,
 // e.g. by Network.Send's HandlerEntry) get //mgslint:allow chargecost.
+//
+// For internal/obs the rule inverts: the observability spine's
+// contract is that emission costs zero simulated cycles — a trace,
+// metric, or profile must never perturb the run it observes. Any
+// function in obs that charges (directly or through a function
+// literal) is a diagnostic.
 var ChargeCost = &analysis.Analyzer{
 	Name: "chargecost",
-	Doc:  "flag protocol handlers and send paths that never charge simulated cycles",
+	Doc:  "flag protocol handlers and send paths that never charge simulated cycles (and obs emission paths that do)",
 	Run:  runChargeCost,
 }
 
@@ -38,6 +44,9 @@ var handlerPrefixes = []string{"on", "send", "serve", "dispatch", "reply", "fini
 func runChargeCost(pass *analysis.Pass) error {
 	if !scopeChargeCost(pass.Pkg.Path()) {
 		return nil
+	}
+	if pkgIs(pass.Pkg.Path(), "obs") {
+		return runChargeCostInverted(pass)
 	}
 	g := buildFuncGraph(pass)
 
@@ -74,6 +83,22 @@ func runChargeCost(pass *analysis.Pass) error {
 		if !chargesTransitively(fn) {
 			pass.Reportf(decl.Name.Pos(),
 				"%s is a protocol handler/send path but no path through it charges simulated cycles (no Costs read, Advance/AddDebt/HandlerStart, Send/Extend, or offset At/After); the work it models executes for free",
+				fn.Name())
+		}
+	}
+	return nil
+}
+
+// runChargeCostInverted enforces the observability spine's zero-cost
+// contract: no function in internal/obs may charge simulated cycles.
+// The transitive closure is unnecessary here — a charge anywhere in the
+// package is a violation at the function that contains it.
+func runChargeCostInverted(pass *analysis.Pass) error {
+	g := buildFuncGraph(pass)
+	for fn, decl := range g.decls {
+		if chargesDirectly(pass, decl.Body) {
+			pass.Reportf(decl.Name.Pos(),
+				"%s is an obs emission path but charges simulated cycles (Advance/AddDebt/HandlerStart, Send/Extend, or offset At/After); observability must cost zero virtual time",
 				fn.Name())
 		}
 	}

@@ -31,6 +31,7 @@ var deterministicPkgs = map[string]bool{
 	"apps":  true,
 	"cache": true,
 	"fault": true,
+	"obs":   true, // sinks fire from engine context; see internal/obs
 }
 
 // canonicalPath strips go vet's test-variant suffix: the package
@@ -68,10 +69,12 @@ func scopeNoGoroutine(path string) bool {
 }
 
 // scopeChargeCost reports whether chargecost checks the package:
-// internal/core (protocol handlers) and internal/msg (send paths).
+// internal/core (protocol handlers) and internal/msg (send paths),
+// where the rule is "timed surfaces must charge", plus internal/obs,
+// where the rule inverts: emission paths must never charge.
 func scopeChargeCost(path string) bool {
 	p := internalPkg(path)
-	return p == "core" || p == "msg"
+	return p == "core" || p == "msg" || p == "obs"
 }
 
 // pkgIs reports whether path denotes internal/<name> (used to identify

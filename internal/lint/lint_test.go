@@ -24,7 +24,7 @@ func TestMapRange(t *testing.T) {
 
 func TestChargeCost(t *testing.T) {
 	analysistest.Run(t, "testdata/chargecost", lint.ChargeCost,
-		"mgs/internal/msg", "mgs/internal/core")
+		"mgs/internal/msg", "mgs/internal/core", "mgs/internal/obs")
 }
 
 func TestEngineCtx(t *testing.T) {

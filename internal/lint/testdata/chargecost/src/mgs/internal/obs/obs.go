@@ -1,0 +1,44 @@
+// Package obs mirrors the real observability spine's shape. The
+// chargecost rule inverts here: emission must cost zero simulated
+// cycles, so any charge in this package is a diagnostic.
+package obs
+
+import "mgs/internal/sim"
+
+type Event struct {
+	T    sim.Time
+	Name string
+}
+
+type Sink interface{ Emit(Event) }
+
+type Observer struct{ sinks []Sink }
+
+func (o *Observer) Tracing() bool { return o != nil && len(o.sinks) > 0 }
+
+// Emit publishes the event without touching virtual time: the
+// zero-cost contract in its canonical form.
+func (o *Observer) Emit(e Event) {
+	for _, s := range o.sinks {
+		s.Emit(e)
+	}
+}
+
+// EmitCharged bills the emitting processor for the trace — the
+// observer perturbing the run it observes.
+func (o *Observer) EmitCharged(p *sim.Proc, e Event) { // want `EmitCharged is an obs emission path but charges simulated cycles`
+	p.Advance(10)
+	o.Emit(e)
+}
+
+// EmitDeferred reschedules emission at a virtual-time offset, which
+// injects an event the simulation would not otherwise have.
+func (o *Observer) EmitDeferred(eng *sim.Engine, at sim.Time, e Event) { // want `EmitDeferred is an obs emission path but charges simulated cycles`
+	eng.At(at+1, func() { o.Emit(e) })
+}
+
+// observeHandler snapshots a handler's completion time into an event;
+// reading clocks is free, only charging is forbidden.
+func (o *Observer) observeHandler(p *sim.Proc, at sim.Time) {
+	o.Emit(Event{T: at, Name: "HANDLER"})
+}

@@ -15,7 +15,10 @@
 // delay". Contention in the LAN is not modeled (nor was it in MGS).
 package msg
 
-import "mgs/internal/sim"
+import (
+	"mgs/internal/obs"
+	"mgs/internal/sim"
+)
 
 // Costs parameterizes message timing, in cycles.
 type Costs struct {
@@ -109,12 +112,12 @@ type Network struct {
 	// charged to a processor (protocol-time attribution).
 	OnHandler func(proc int, cycles sim.Time)
 
-	// TraceFn, if set, receives a line per transport fault event —
-	// drops, duplicates, delays, timeouts, retransmissions — in the
-	// same "t=<cycle> ..." shape as core.System.TraceFn, so the two
-	// streams interleave into one protocol event log (mgs-trace
-	// -faults).
-	TraceFn func(format string, args ...any)
+	// Obs is the observability spine. Transport fate events — drops,
+	// duplicates, delays, timeouts, retransmissions, acks — publish on
+	// it as Cat Transport with Proc -1 (they belong to the wire, not a
+	// processor), interleaving with the protocol and sync streams into
+	// one virtual-time-ordered event log.
+	Obs *obs.Observer
 
 	Counters Counters
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mgs/internal/fault"
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
@@ -135,11 +136,21 @@ func (n *Network) FaultPlan() fault.Plan {
 	return n.inj.plan
 }
 
-// trace emits one transport fault event.
-func (in *injector) trace(format string, args ...any) {
-	if in.net.TraceFn != nil {
-		in.net.TraceFn(format, args...)
+// emit publishes one transport fate event on the observability spine.
+// The channel coordinates go in the detail; transport events carry
+// Proc -1 so the Chrome exporter gives the wire its own track. Detail
+// formatting runs only when a sink is attached, and emission charges no
+// simulated cycles.
+func (in *injector) emit(t sim.Time, name string, from, to int, seq int64, id uint64, format string, args ...any) {
+	o := in.net.Obs
+	if !o.Tracing() {
+		return
 	}
+	detail := fmt.Sprintf("ch=%d->%d seq=%d id=%d", from, to, seq, id)
+	if format != "" {
+		detail += " " + fmt.Sprintf(format, args...)
+	}
+	o.Emit(obs.Event{T: t, Proc: -1, Cat: obs.Transport, Name: name, Detail: detail})
 }
 
 // chanOf returns (creating if needed) the channel state for key.
@@ -198,17 +209,17 @@ func (in *injector) attempt(m *pending, when sim.Time) {
 	switch {
 	case f.Drop:
 		in.fs.Dropped++
-		in.trace("t=%d fault ch=%d->%d seq=%d id=%d DROP attempt=%d", when, m.key.from, m.key.to, m.seq, m.id, m.attempts)
+		in.emit(when, "DROP", m.key.from, m.key.to, m.seq, m.id, "attempt=%d", m.attempts)
 	default:
 		if f.Extra > 0 {
 			in.fs.Delayed++
 			in.fs.DelayCycles += int64(f.Extra)
-			in.trace("t=%d fault ch=%d->%d seq=%d id=%d DELAY extra=%d attempt=%d", when, m.key.from, m.key.to, m.seq, m.id, f.Extra, m.attempts)
+			in.emit(when, "DELAY", m.key.from, m.key.to, m.seq, m.id, "extra=%d attempt=%d", f.Extra, m.attempts)
 		}
 		in.deliverAt(m, arrive+f.Extra)
 		if f.Dup {
 			in.fs.Duplicated++
-			in.trace("t=%d fault ch=%d->%d seq=%d id=%d DUP lag=%d attempt=%d", when, m.key.from, m.key.to, m.seq, m.id, f.DupExtra, m.attempts)
+			in.emit(when, "DUP", m.key.from, m.key.to, m.seq, m.id, "lag=%d attempt=%d", f.DupExtra, m.attempts)
 			in.deliverAt(m, arrive+f.Extra+f.DupExtra)
 		}
 	}
@@ -228,7 +239,7 @@ func (in *injector) attempt(m *pending, when sim.Time) {
 		in.fs.Retransmits++
 		in.fs.RetransBytes += int64(m.bytes)
 		n.chargeHandler(m.key.from, n.costs.RetransmitWork)
-		in.trace("t=%d fault ch=%d->%d seq=%d id=%d TIMEOUT rto=%d -> RETRANSMIT attempt=%d", fire, m.key.from, m.key.to, m.seq, m.id, fire-when, m.attempts+1)
+		in.emit(fire, "TIMEOUT", m.key.from, m.key.to, m.seq, m.id, "rto=%d -> RETRANSMIT attempt=%d", fire-when, m.attempts+1)
 		in.attempt(m, fire)
 	})
 }
@@ -244,7 +255,7 @@ func (in *injector) deliverAt(m *pending, arrive sim.Time) {
 		cs := in.chanOf(m.key)
 		if cs.seen(m.seq) {
 			in.fs.DupSuppressed++
-			in.trace("t=%d fault ch=%d->%d seq=%d id=%d DUPDROP (already delivered)", arrive, m.key.from, m.key.to, m.seq, m.id)
+			in.emit(arrive, "DUPDROP", m.key.from, m.key.to, m.seq, m.id, "(already delivered)")
 		} else {
 			cs.mark(m.seq)
 			if arrive > m.firstEst {
@@ -270,14 +281,14 @@ func (in *injector) sendAck(m *pending, at sim.Time) {
 	in.fs.Acks++
 	if in.plan.AckDropped(&m.stream) {
 		in.fs.AckDropped++
-		in.trace("t=%d fault ch=%d->%d seq=%d id=%d ACKDROP", at, m.key.to, m.key.from, m.seq, m.id)
+		in.emit(at, "ACKDROP", m.key.to, m.key.from, m.seq, m.id, "")
 		return
 	}
 	arrive := at + n.Latency(m.key.to, m.key.from, n.costs.AckBytes) + n.jitter()
 	n.eng.At(arrive, func() {
 		if !m.acked {
 			m.acked = true
-			in.trace("t=%d fault ch=%d->%d seq=%d id=%d ACK", arrive, m.key.to, m.key.from, m.seq, m.id)
+			in.emit(arrive, "ACK", m.key.to, m.key.from, m.seq, m.id, "")
 		}
 	})
 }

@@ -1,10 +1,10 @@
 package msg
 
 import (
-	"fmt"
 	"testing"
 
 	"mgs/internal/fault"
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
@@ -125,7 +125,7 @@ func TestReliableDeterministic(t *testing.T) {
 	run := func() ([]sim.Time, stats.Fault, []string) {
 		eng, n, _, fs := buildFaulty(t, fault.Plan{Seed: 9, DropBP: 2000, DupBP: 500, DelayBP: 1500, MaxDelay: 700})
 		var traces []string
-		n.TraceFn = func(f string, args ...any) { traces = append(traces, fmt.Sprintf(f, args...)) }
+		n.Obs = obs.New().AddSink(obs.FuncSink(func(e obs.Event) { traces = append(traces, e.String()) }))
 		var arrivals []sim.Time
 		for i := 0; i < 50; i++ {
 			n.Send(2, 6, sim.Time(i*37), 128, 0, func(at sim.Time) { arrivals = append(arrivals, at) })
@@ -168,7 +168,7 @@ func TestReliableDeterministic(t *testing.T) {
 func TestRetryLimitStopsTotalLoss(t *testing.T) {
 	eng, n, _, _ := buildFaulty(t, fault.Plan{Seed: 1, DropBP: 10000})
 	n.Send(0, 4, 0, 8, 0, func(sim.Time) { t.Fatal("delivered through a 100%-loss network") })
-	eng.At(1 << 40, func() {
+	eng.At(1<<40, func() {
 		for _, p := range n.procs {
 			p.Wake(1 << 40)
 		}

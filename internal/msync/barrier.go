@@ -1,6 +1,7 @@
 package msync
 
 import (
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
@@ -47,6 +48,8 @@ func (m *System) Barrier(id int) *Barrier {
 func (b *Barrier) Arrive(p *sim.Proc) {
 	p.Yield() // surface run-ahead before taking part in ordering
 	m := b.m
+	pk, pid := m.st.ProfSet(p.ID, obs.ObjBarrier, int64(b.id))
+	defer m.st.ProfSet(p.ID, pk, pid)
 	m.dsm.ReleaseAll(p)
 	m.charge(p, stats.Barrier, m.costs.BarrierOp)
 	s := m.ssmpOf(p.ID)
@@ -61,9 +64,7 @@ func (b *Barrier) Arrive(p *sim.Proc) {
 		when := lb.maxClock
 		lb.count = 0
 		lb.maxClock = 0
-		if m.Trace != nil {
-			m.Trace("t=%d COMBINE barrier=%d ssmp=%d proc=%d", when, b.id, s, p.ID)
-		}
+		m.emitSync(when, p.ID, obs.ObjBarrier, b.id, "COMBINE", "ssmp=%d proc=%d", s, p.ID)
 		m.charge(p, stats.Barrier, m.net.SendCost())
 		m.net.Send(p.ID, b.home, when, 32, m.costs.BarrierOp,
 			func(at sim.Time) { b.onCombine(at) })
@@ -72,15 +73,16 @@ func (b *Barrier) Arrive(p *sim.Proc) {
 	c0 := p.Clock()
 	p.Park() // woken by the local release
 	m.st.Charge(p.ID, stats.Barrier, p.Clock()-c0)
+	if m.barrierWait != nil {
+		m.barrierWait.Observe(int64(p.Clock() - c0))
+	}
 	m.dsm.AcquireSync(p) // a barrier exit is an acquire (lazy release)
 }
 
 // onCombine runs at the barrier home: one SSMP has fully arrived.
 func (b *Barrier) onCombine(at sim.Time) {
 	b.arrived++
-	if b.m.Trace != nil {
-		b.m.Trace("t=%d COMBINE.HOME barrier=%d arrived=%d/%d", at, b.id, b.arrived, b.m.nssmp())
-	}
+	b.m.emitSync(at, -1, obs.ObjBarrier, b.id, "COMBINE.HOME", "arrived=%d/%d", b.arrived, b.m.nssmp())
 	if b.arrived < b.m.nssmp() {
 		return
 	}
@@ -99,9 +101,7 @@ func (b *Barrier) onCombine(at sim.Time) {
 // flag.
 func (b *Barrier) onRelease(s int, at sim.Time) {
 	lb := &b.local[s]
-	if b.m.Trace != nil {
-		b.m.Trace("t=%d RELEASE barrier=%d ssmp=%d waiters=%d", at, b.id, s, len(lb.waiting))
-	}
+	b.m.emitSync(at, -1, obs.ObjBarrier, b.id, "RELEASE", "ssmp=%d waiters=%d", s, len(lb.waiting))
 	waiters := lb.waiting
 	lb.waiting = nil
 	for i, p := range waiters {

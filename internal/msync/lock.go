@@ -3,6 +3,7 @@ package msync
 import (
 	"sort"
 
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
@@ -65,6 +66,8 @@ func (l *Lock) Acquire(p *sim.Proc) {
 	// event at or before this processor's clock settles first (and so a
 	// spin loop of local acquires cannot starve the engine).
 	p.Yield()
+	pk, pid := m.st.ProfSet(p.ID, obs.ObjLock, int64(l.id))
+	defer m.st.ProfSet(p.ID, pk, pid)
 	s := m.ssmpOf(p.ID)
 	ll := &l.local[s]
 	l.total++
@@ -80,9 +83,7 @@ func (l *Lock) Acquire(p *sim.Proc) {
 	ll.waitQ = append(ll.waitQ, p)
 	if !ll.hasToken && !ll.requested {
 		ll.requested = true
-		if m.Trace != nil {
-			m.Trace("t=%d TOKENREQ lock=%d ssmp=%d proc=%d", p.Clock(), l.id, s, p.ID)
-		}
+		m.emitSync(p.Clock(), p.ID, obs.ObjLock, l.id, "TOKENREQ", "ssmp=%d proc=%d", s, p.ID)
 		m.charge(p, stats.Lock, m.net.SendCost())
 		m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
 			func(at sim.Time) { l.onTokenReq(s, at) })
@@ -90,6 +91,9 @@ func (l *Lock) Acquire(p *sim.Proc) {
 	c0 := p.Clock()
 	p.Park() // woken holding the lock
 	m.st.Charge(p.ID, stats.Lock, p.Clock()-c0)
+	if m.lockWait != nil {
+		m.lockWait.Observe(int64(p.Clock() - c0))
+	}
 	m.dsm.AcquireSync(p)
 }
 
@@ -100,6 +104,8 @@ func (l *Lock) Acquire(p *sim.Proc) {
 func (l *Lock) Release(p *sim.Proc) {
 	m := l.m
 	p.Yield()
+	pk, pid := m.st.ProfSet(p.ID, obs.ObjLock, int64(l.id))
+	defer m.st.ProfSet(p.ID, pk, pid)
 	m.dsm.ReleaseAll(p)
 	m.charge(p, stats.Lock, m.costs.LockOp)
 	s := m.ssmpOf(p.ID)
@@ -133,18 +139,14 @@ func (l *Lock) Release(p *sim.Proc) {
 		ll.held = true
 		l.heldSince = p.Clock() + m.costs.LockOp
 		l.hits++
-		if m.Trace != nil {
-			m.Trace("t=%d HANDOFF lock=%d releaser=%d(clk %d) next=%d(clk %d)", p.Clock(), l.id, p.ID, p.Clock(), next.ID, next.Clock())
-		}
+		m.emitSync(p.Clock(), p.ID, obs.ObjLock, l.id, "HANDOFF", "releaser=%d(clk %d) next=%d(clk %d)", p.ID, p.Clock(), next.ID, next.Clock())
 		m.eng.At(p.Clock()+m.costs.LockOp, func() { next.Wake(p.Clock() + m.costs.LockOp) })
 	}
 }
 
 // onTokenReq runs at the global lock home: SSMP s wants the token.
 func (l *Lock) onTokenReq(s int, at sim.Time) {
-	if l.m.Trace != nil {
-		l.m.Trace("t=%d TOKENREQ.HOME lock=%d ssmp=%d queue=%v owner=%d", at, l.id, s, l.reqQueue, l.tokenOwner)
-	}
+	l.m.emitSync(at, -1, obs.ObjLock, l.id, "TOKENREQ.HOME", "ssmp=%d queue=%v owner=%d", s, l.reqQueue, l.tokenOwner)
 	l.reqQueue = append(l.reqQueue, s)
 	l.pumpDemand(at)
 }
@@ -158,9 +160,7 @@ func (l *Lock) pumpDemand(at sim.Time) {
 	l.demandOut = true
 	m := l.m
 	owner := l.tokenOwner
-	if m.Trace != nil {
-		m.Trace("t=%d DEMAND lock=%d -> ssmp=%d queue=%v", at, l.id, owner, l.reqQueue)
-	}
+	m.emitSync(at, -1, obs.ObjLock, l.id, "DEMAND", "-> ssmp=%d queue=%v", owner, l.reqQueue)
 	m.net.Send(l.home, m.repProc(owner, l.id), at, 32, m.costs.TokenWork,
 		func(at2 sim.Time) { l.onDemand(owner, at2) })
 }
@@ -169,9 +169,7 @@ func (l *Lock) pumpDemand(at sim.Time) {
 // home, now if the local lock is free, or at the next release.
 func (l *Lock) onDemand(s int, at sim.Time) {
 	ll := &l.local[s]
-	if l.m.Trace != nil {
-		l.m.Trace("t=%d DEMAND.ARRIVE lock=%d ssmp=%d hasToken=%v held=%v", at, l.id, s, ll.hasToken, ll.held)
-	}
+	l.m.emitSync(at, -1, obs.ObjLock, l.id, "DEMAND.ARRIVE", "ssmp=%d hasToken=%v held=%v", s, ll.hasToken, ll.held)
 	if !ll.hasToken {
 		// The demand overtook the grant (possible under message
 		// jitter): remember it, so the grant hands the token on after
@@ -191,9 +189,7 @@ func (l *Lock) onDemand(s int, at sim.Time) {
 
 // onTokenBack runs at the home: hand the token to the first queued SSMP.
 func (l *Lock) onTokenBack(at sim.Time) {
-	if l.m.Trace != nil {
-		l.m.Trace("t=%d TOKENBACK lock=%d queue=%v", at, l.id, l.reqQueue)
-	}
+	l.m.emitSync(at, -1, obs.ObjLock, l.id, "TOKENBACK", "queue=%v", l.reqQueue)
 	l.demandOut = false
 	if len(l.reqQueue) == 0 {
 		// No one waiting after all; home's SSMP keeps the token.
@@ -217,9 +213,7 @@ func (l *Lock) onTokenBack(at sim.Time) {
 // the lock to the first local waiter.
 func (l *Lock) onTokenGrant(s int, at sim.Time) {
 	ll := &l.local[s]
-	if l.m.Trace != nil {
-		l.m.Trace("t=%d GRANT lock=%d ssmp=%d waiters=%d demand=%v", at, l.id, s, len(ll.waitQ), ll.demand)
-	}
+	l.m.emitSync(at, -1, obs.ObjLock, l.id, "GRANT", "ssmp=%d waiters=%d demand=%v", s, len(ll.waitQ), ll.demand)
 	ll.hasToken = true
 	ll.requested = false
 	if len(ll.waitQ) == 0 {

@@ -24,8 +24,11 @@
 package msync
 
 import (
+	"fmt"
+
 	"mgs/internal/core"
 	"mgs/internal/msg"
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
@@ -55,18 +58,46 @@ type System struct {
 	locks    map[int]*Lock
 	barriers map[int]*Barrier
 
-	// Trace, if set, receives a line per lock event (tests and tools).
-	Trace func(format string, args ...any)
+	// Obs is the observability spine; nil or sink-less keeps the trace
+	// path structurally detached.
+	Obs *obs.Observer
+
+	// Wait-time distributions, registered on the collector's registry:
+	// cycles parked per lock acquire and per barrier episode.
+	lockWait, barrierWait *obs.Histogram
 }
 
 // New builds the synchronization system for the machine owning dsm.
 func New(eng *sim.Engine, dsm *core.System, net *msg.Network, st *stats.Collector, procs []*sim.Proc, costs Costs) *System {
 	cfg := dsm.Config()
-	return &System{
+	m := &System{
 		eng: eng, dsm: dsm, net: net, st: st, procs: procs, costs: costs,
 		p: cfg.NProcs, c: cfg.ClusterSize,
 		locks: make(map[int]*Lock), barriers: make(map[int]*Barrier),
 	}
+	if reg := st.Registry(); reg != nil {
+		m.lockWait = reg.Histogram("lock.waitcycles", nil)
+		m.barrierWait = reg.Histogram("barrier.waitcycles", nil)
+		reg.Gauge("lock.hits", func() int64 { h, _ := m.LockStats(); return h })
+		reg.Gauge("lock.total", func() int64 { _, t := m.LockStats(); return t })
+	}
+	return m
+}
+
+// emitSync publishes one synchronization event. Detail formatting runs
+// only when a sink is attached; emission charges no simulated cycles.
+func (m *System) emitSync(t sim.Time, proc int, kind obs.ObjKind, id int, name, format string, args ...any) {
+	if !m.Obs.Tracing() {
+		return
+	}
+	var detail string
+	if format != "" {
+		detail = fmt.Sprintf(format, args...)
+	}
+	m.Obs.Emit(obs.Event{
+		T: t, Proc: proc, Cat: obs.Sync, Name: name,
+		Kind: kind, ID: int64(id), Detail: detail,
+	})
 }
 
 func (m *System) nssmp() int          { return m.p / m.c }

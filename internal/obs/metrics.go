@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry is the metrics registry: named counters, gauges, and
+// virtual-time histograms. Registration is get-or-create by name, so
+// independent subsystems can share a registry without coordination.
+// Snapshots are deterministic: names sort lexicographically and
+// histogram bucket layouts are fixed at registration.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically growing event count.
+type Counter struct{ v int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) { c.v += delta }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter, creating it at first touch.
+func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Gauge registers a read-on-snapshot value: fn is evaluated when the
+// registry is snapshotted, so subsystems expose live state (directory
+// sizes, hit totals, TLB occupancy) without double bookkeeping.
+// Re-registering a name replaces the reader.
+func (r *Registry) Gauge(name string, fn func() int64) { r.gauges[name] = fn }
+
+// TimeBuckets is the fixed virtual-time histogram layout: roughly
+// logarithmic from a cache hit to a long protocol round, in cycles.
+// The final implicit bucket catches everything larger.
+var TimeBuckets = []int64{
+	100, 300, 1_000, 3_000, 10_000, 30_000,
+	100_000, 300_000, 1_000_000, 3_000_000,
+}
+
+// Histogram counts observations into fixed buckets. Bounds[i] is the
+// inclusive upper edge of bucket i; one extra bucket holds overflows.
+type Histogram struct {
+	bounds []int64
+	counts []int64
+	sum    int64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.n++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Buckets returns the bucket upper bounds and per-bucket counts (the
+// last count is the overflow bucket). The returned slices are live;
+// callers must not mutate them.
+func (h *Histogram) Buckets() (bounds, counts []int64) { return h.bounds, h.counts }
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket bounds; bounds are fixed at first registration and nil
+// means TimeBuckets.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = TimeBuckets
+		}
+		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricKind tags a snapshot entry.
+type MetricKind uint8
+
+const (
+	// CounterKind is a monotonically growing count.
+	CounterKind MetricKind = iota
+	// GaugeKind is a point-in-time reading.
+	GaugeKind
+	// HistogramKind is a bucketed distribution.
+	HistogramKind
+)
+
+var metricKindNames = [...]string{"counter", "gauge", "histogram"}
+
+// String names the kind.
+func (k MetricKind) String() string { return metricKindNames[k] }
+
+// Metric is one snapshot entry.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value int64 // counter or gauge value; histogram observation count
+	Sum   int64 // histograms only: sum of observations
+	// Bounds/Counts are the histogram layout (Counts has one extra
+	// overflow bucket); nil for counters and gauges.
+	Bounds, Counts []int64
+}
+
+// String renders one snapshot line.
+func (m Metric) String() string {
+	switch m.Kind {
+	case HistogramKind:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s n=%d sum=%d", m.Name, m.Value, m.Sum)
+		for i, c := range m.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(m.Bounds) {
+				fmt.Fprintf(&b, " le%d=%d", m.Bounds[i], c)
+			} else {
+				fmt.Fprintf(&b, " inf=%d", c)
+			}
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("%s=%d", m.Name, m.Value)
+	}
+}
+
+// Snapshot returns every metric, counters first, then gauges, then
+// histograms, each group sorted by name — a deterministic, stable
+// ordering for goldens and CSVs.
+func (r *Registry) Snapshot() []Metric {
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, n := range names {
+		out = append(out, Metric{Name: n, Kind: CounterKind, Value: r.counters[n].v})
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, Metric{Name: n, Kind: GaugeKind, Value: r.gauges[n]()})
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		out = append(out, Metric{
+			Name: n, Kind: HistogramKind, Value: h.n, Sum: h.sum,
+			Bounds: h.bounds, Counts: h.counts,
+		})
+	}
+	return out
+}
+
+// CounterStrings renders just the counters as sorted "name=value"
+// lines — the legacy Collector.Counters shape.
+func (r *Registry) CounterStrings() []string {
+	out := make([]string, 0, len(r.counters))
+	for k, v := range r.counters {
+		out = append(out, fmt.Sprintf("%s=%d", k, v.v))
+	}
+	sort.Strings(out)
+	return out
+}

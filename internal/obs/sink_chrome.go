@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ChromeSink buffers events and renders them as Chrome trace_event
+// JSON (the format chrome://tracing, Perfetto, and speedscope load):
+// one track (thread) per processor plus one per software engine
+// (transport, sync, machine), all under a single process, with virtual
+// time standing in for microseconds. Events with a positive Dur render
+// as complete ("X") spans; everything else is an instant ("i").
+//
+// Events buffer in memory during the run; call WriteTo after the
+// machine finishes. Output is deterministic: events appear in emission
+// order (the engine's total order) and all values are integers, so a
+// fixed seed produces a byte-identical trace across runs and sweep
+// worker counts.
+type ChromeSink struct {
+	nprocs int
+	events []Event
+}
+
+// NewChromeSink returns a Chrome trace sink for a machine of nprocs
+// processors (sizing the per-processor tracks; events from higher
+// processor numbers still render, on engine tracks).
+func NewChromeSink(nprocs int) *ChromeSink { return &ChromeSink{nprocs: nprocs} }
+
+// Emit buffers one event.
+func (c *ChromeSink) Emit(e Event) { c.events = append(c.events, e) }
+
+// Len reports buffered events.
+func (c *ChromeSink) Len() int { return len(c.events) }
+
+// tid maps an event to its track: processors own tids 0..nprocs-1;
+// engine-level events (Proc < 0) land on a per-category engine track.
+func (c *ChromeSink) tid(e Event) int {
+	if e.Proc >= 0 && e.Proc < c.nprocs {
+		return e.Proc
+	}
+	return c.nprocs + int(e.Cat)
+}
+
+// jsonEscape escapes a string for embedding in a JSON string literal.
+// Event names and details are ASCII by construction; this covers the
+// general case anyway.
+func jsonEscape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// WriteTo renders the buffered trace as a JSON object with a
+// traceEvents array. Thread-name metadata events name each track.
+func (c *ChromeSink) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(cw, format, args...)
+		return err
+	}
+	if err := write("{\"traceEvents\":[\n"); err != nil {
+		return cw.n, err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if err := write(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		return write(format, args...)
+	}
+	// Track-name metadata: processors, then one track per engine.
+	for p := 0; p < c.nprocs; p++ {
+		if err := emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"proc %d"}}`, p, p); err != nil {
+			return cw.n, err
+		}
+	}
+	for cat := Cat(0); cat < NumCats; cat++ {
+		if err := emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s engine"}}`, c.nprocs+int(cat), cat); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, e := range c.events {
+		name := jsonEscape(e.Name)
+		args := fmt.Sprintf(`{"detail":"%s"`, jsonEscape(e.Detail))
+		if e.Kind != ObjNone {
+			args += fmt.Sprintf(`,"%s":%d`, e.Kind, e.ID)
+		}
+		args += "}"
+		var err error
+		if e.Dur > 0 {
+			err = emit(`{"name":"%s","cat":"%s","ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":%s}`,
+				name, e.Cat, int64(e.T), int64(e.Dur), c.tid(e), args)
+		} else {
+			err = emit(`{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%d,"pid":1,"tid":%d,"args":%s}`,
+				name, e.Cat, int64(e.T), c.tid(e), args)
+		}
+		if err != nil {
+			return cw.n, err
+		}
+	}
+	err := write("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"virtual cycles\"}}\n")
+	return cw.n, err
+}
+
+// countWriter counts bytes written through it.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

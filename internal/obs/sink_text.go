@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// TextSink renders events as the classic one-line-per-event text log
+// ("t=<cycle> page=<n> NAME detail") — the format the pre-spine printf
+// tracer produced, re-implemented as a bus sink. Lines are written in
+// emission order, which is virtual-time order per the engine's total
+// event order, so two runs of one simulation produce byte-identical
+// logs.
+type TextSink struct {
+	w io.Writer
+	// Count is the number of events written so far.
+	Count int
+}
+
+// NewTextSink returns a text sink writing to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit writes one line.
+func (t *TextSink) Emit(e Event) {
+	t.Count++
+	fmt.Fprintln(t.w, e.String())
+}
+
+// FuncSink adapts a plain function to the Sink interface (tests and
+// tools that want per-event callbacks without a type).
+type FuncSink func(e Event)
+
+// Emit invokes the function.
+func (f FuncSink) Emit(e Event) { f(e) }
+
+// MemSink buffers events in memory (tests, and tools that post-process
+// a whole run).
+type MemSink struct {
+	// Events holds every emitted event in emission order.
+	Events []Event
+}
+
+// Emit appends the event.
+func (m *MemSink) Emit(e Event) { m.Events = append(m.Events, e) }

@@ -33,9 +33,10 @@ type Time int64
 // Engine is a deterministic discrete-event simulator. The zero value is
 // not usable; call NewEngine.
 type Engine struct {
-	now   Time
-	seq   uint64
-	queue eventQueue
+	now        Time
+	seq        uint64
+	queue      eventQueue
+	dispatched int64
 
 	yield chan struct{} // procs signal "I have blocked" on this
 	cur   *Proc         // proc currently executing user code, if any
@@ -68,6 +69,11 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// Dispatched reports the number of events dispatched so far — an
+// engine-activity gauge for the observability spine. Host-side
+// bookkeeping only; it never influences virtual time.
+func (e *Engine) Dispatched() int64 { return e.dispatched }
+
 // Stop aborts the run after the current event completes. Run returns err.
 func (e *Engine) Stop(err error) {
 	e.stopped = true
@@ -82,6 +88,7 @@ func (e *Engine) Run() error {
 	for e.queue.Len() > 0 && !e.stopped {
 		ev := e.queue.Pop()
 		e.now = ev.t
+		e.dispatched++
 		ev.fn()
 	}
 	if e.stopped {

@@ -7,9 +7,9 @@ package stats
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"mgs/internal/obs"
 	"mgs/internal/sim"
 )
 
@@ -84,11 +84,15 @@ func (f Fault) String() string {
 }
 
 // Collector accumulates per-processor cycle buckets and named event
-// counters for one run.
+// counters for one run. Counters live in an obs.Registry (a private one
+// by default); Use swaps in an observer's shared registry and arms the
+// cycle-attribution profiler, so the collector doubles as the bridge
+// between the simulation's charge sites and the observability spine.
 type Collector struct {
-	buckets  [][NumCategories]sim.Time
-	mode     []Category
-	counters map[string]int64
+	buckets [][NumCategories]sim.Time
+	mode    []Category
+	reg     *obs.Registry
+	prof    *obs.Profiler
 
 	// Fault is the fault-injection accounting view for the run; the
 	// harness hands the transport a pointer to it at attach time.
@@ -96,14 +100,71 @@ type Collector struct {
 }
 
 // NewCollector returns a collector for nprocs processors, all starting
-// in User mode.
+// in User mode, with a private metrics registry.
 func NewCollector(nprocs int) *Collector {
-	return &Collector{
-		buckets:  make([][NumCategories]sim.Time, nprocs),
-		mode:     make([]Category, nprocs),
-		counters: make(map[string]int64),
+	c := &Collector{
+		buckets: make([][NumCategories]sim.Time, nprocs),
+		mode:    make([]Category, nprocs),
+		reg:     obs.NewRegistry(),
 	}
+	c.registerFaultGauges()
+	return c
 }
+
+// Use attaches the collector to an observer: counters re-register onto
+// the observer's registry and, when the observer has profiling enabled,
+// every subsequent Charge/ChargeMode also feeds the cycle-attribution
+// profiler. Call before the run starts (counters do not migrate).
+func (c *Collector) Use(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	if r := o.Registry(); r != nil {
+		c.reg = r
+		c.registerFaultGauges()
+	}
+	c.prof = o.InitProfiler(len(c.buckets), int(NumCategories))
+}
+
+// Registry exposes the collector's metrics registry so protocol and
+// sync layers can register their own gauges and histograms.
+func (c *Collector) Registry() *obs.Registry { return c.reg }
+
+// registerFaultGauges exposes the fault-transport accounting view as
+// gauges, read live at snapshot time.
+func (c *Collector) registerFaultGauges() {
+	f := &c.Fault
+	c.reg.Gauge("fault.msgs", func() int64 { return f.Messages })
+	c.reg.Gauge("fault.dropped", func() int64 { return f.Dropped })
+	c.reg.Gauge("fault.duplicated", func() int64 { return f.Duplicated })
+	c.reg.Gauge("fault.delayed", func() int64 { return f.Delayed })
+	c.reg.Gauge("fault.dupsuppressed", func() int64 { return f.DupSuppressed })
+	c.reg.Gauge("fault.timeouts", func() int64 { return f.Timeouts })
+	c.reg.Gauge("fault.retransmits", func() int64 { return f.Retransmits })
+	c.reg.Gauge("fault.recoverycycles", func() int64 { return f.RecoveryCycles })
+}
+
+// ProfSet switches processor p's profiler attribution object, returning
+// the previous object for restore. Nil-safe: with no profiler armed it
+// is a no-op that returns zeros.
+func (c *Collector) ProfSet(p int, kind obs.ObjKind, id int64) (obs.ObjKind, int64) {
+	if c.prof == nil {
+		return obs.ObjNone, 0
+	}
+	return c.prof.SetContext(p, kind, id)
+}
+
+// ProfContext returns processor p's current profiler attribution
+// object. Nil-safe: with no profiler armed it returns zeros.
+func (c *Collector) ProfContext(p int) (obs.ObjKind, int64) {
+	if c.prof == nil {
+		return obs.ObjNone, 0
+	}
+	return c.prof.Context(p)
+}
+
+// Profiling reports whether a cycle-attribution profiler is armed.
+func (c *Collector) Profiling() bool { return c.prof != nil }
 
 // Mode returns processor p's current attribution mode.
 func (c *Collector) Mode(p int) Category { return c.mode[p] }
@@ -116,31 +177,34 @@ func (c *Collector) SetMode(p int, m Category) Category {
 	return prev
 }
 
-// Charge adds cycles to a specific bucket of processor p.
+// Charge adds cycles to a specific bucket of processor p. With a
+// profiler armed, the same cycles are attributed to p's current object
+// context, which is what keeps profiler totals and Breakdown in exact
+// agreement.
 func (c *Collector) Charge(p int, cat Category, cycles sim.Time) {
 	c.buckets[p][cat] += cycles
+	if c.prof != nil {
+		c.prof.Charge(p, int(cat), cycles)
+	}
 }
 
 // ChargeMode adds cycles to processor p's current-mode bucket.
 func (c *Collector) ChargeMode(p int, cycles sim.Time) {
-	c.buckets[p][c.mode[p]] += cycles
+	cat := c.mode[p]
+	c.buckets[p][cat] += cycles
+	if c.prof != nil {
+		c.prof.Charge(p, int(cat), cycles)
+	}
 }
 
 // Count increments the named event counter.
-func (c *Collector) Count(name string, delta int64) { c.counters[name] += delta }
+func (c *Collector) Count(name string, delta int64) { c.reg.Add(name, delta) }
 
 // Counter returns the value of a named counter.
-func (c *Collector) Counter(name string) int64 { return c.counters[name] }
+func (c *Collector) Counter(name string) int64 { return c.reg.Counter(name).Value() }
 
 // Counters returns all counters as sorted "name=value" strings.
-func (c *Collector) Counters() []string {
-	out := make([]string, 0, len(c.counters))
-	for k, v := range c.counters {
-		out = append(out, fmt.Sprintf("%s=%d", k, v))
-	}
-	sort.Strings(out)
-	return out
-}
+func (c *Collector) Counters() []string { return c.reg.CounterStrings() }
 
 // Breakdown is the aggregate result of a run.
 type Breakdown struct {

@@ -16,7 +16,7 @@
 //
 // # Quick start
 //
-//	cfg := mgs.DefaultConfig(16, 4) // 16 processors, SSMPs of 4
+//	cfg := mgs.NewConfig(16, 4) // 16 processors, SSMPs of 4
 //	m := mgs.NewMachine(cfg)
 //	sum := m.Alloc(8)
 //	res, err := m.Run(func(c *mgs.Ctx) {
@@ -70,7 +70,10 @@ type Time = sim.Time
 // processors in clusters of c (1K-byte pages, 1000-cycle inter-SSMP
 // delay; software coherence disabled when c == P, as in the paper's
 // tightly-coupled baseline runs).
-func DefaultConfig(p, c int) Config { return harness.DefaultConfig(p, c) }
+//
+// Deprecated: use NewConfig, which takes functional options
+// (WithPageSize, WithFaultPlan, WithObserver, ...).
+func DefaultConfig(p, c int) Config { return NewConfig(p, c) }
 
 // NewMachine assembles a DSSMP from a configuration.
 func NewMachine(cfg Config) *Machine { return harness.NewMachine(cfg) }
