@@ -135,7 +135,7 @@ func homedAddr(m *harness.Machine) vm.Addr {
 }
 
 func benchAccess(b *testing.B) {
-	m := harness.NewMachine(harness.DefaultConfig(2, 1))
+	m := harness.NewMachine(harness.NewConfig(2, 1))
 	va := homedAddr(m)
 	b.ReportAllocs()
 	if _, err := m.RunPer(func(i int) func(c *harness.Ctx) {

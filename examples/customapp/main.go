@@ -82,11 +82,11 @@ func main() {
 	fmt.Printf("parallel histogram, P=%d, 2048 items, 32 buckets\n\n", p)
 	fmt.Printf("  %-4s %18s %18s\n", "C", "packed (cycles)", "padded (cycles)")
 	for c := 1; c <= p; c *= 2 {
-		packed, err := mgs.RunApp(&histogram{items: 2048, buckets: 32}, mgs.DefaultConfig(p, c))
+		packed, err := mgs.RunApp(&histogram{items: 2048, buckets: 32}, mgs.NewConfig(p, c))
 		if err != nil {
 			log.Fatal(err)
 		}
-		padded, err := mgs.RunApp(&histogram{items: 2048, buckets: 32, padded: true}, mgs.DefaultConfig(p, c))
+		padded, err := mgs.RunApp(&histogram{items: 2048, buckets: 32, padded: true}, mgs.NewConfig(p, c))
 		if err != nil {
 			log.Fatal(err)
 		}

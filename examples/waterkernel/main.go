@@ -18,12 +18,12 @@ func main() {
 	fmt.Printf("Water force kernel, %d molecules, P=%d\n\n", n, p)
 	fmt.Printf("  %-4s %16s %16s %9s\n", "C", "plain (cycles)", "tiled (cycles)", "speedup")
 	for c := 1; c <= p; c *= 2 {
-		cfg := mgs.DefaultConfig(p, c)
+		cfg := mgs.NewConfig(p, c)
 		plain, err := mgs.RunApp(&apps.WaterKernel{N: n, Tiled: false}, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tiled, err := mgs.RunApp(&apps.WaterKernel{N: n, Tiled: true}, mgs.DefaultConfig(p, c))
+		tiled, err := mgs.RunApp(&apps.WaterKernel{N: n, Tiled: true}, mgs.NewConfig(p, c))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,9 +8,7 @@ import (
 
 // smallCfg returns a quick machine for app correctness tests.
 func smallCfg(p, c int) harness.Config {
-	cfg := harness.DefaultConfig(p, c)
-	cfg.Delay = 400
-	return cfg
+	return harness.NewConfig(p, c, harness.WithInterSSMPDelay(400))
 }
 
 // runShapes runs the app across several machine shapes (uniprocessor,

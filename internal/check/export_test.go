@@ -1,0 +1,6 @@
+package check
+
+import "flag"
+
+// -update regenerates the golden counterexample fixture.
+var update = flag.Bool("update", false, "rewrite golden trace fixtures")

@@ -1,0 +1,101 @@
+package check
+
+import (
+	"fmt"
+
+	"mgs/internal/core"
+	"mgs/internal/sim"
+)
+
+// checkInvariants validates the protocol invariants over one snapshot,
+// taken at a delivery boundary. pending lists the labeled messages
+// still in flight; invariants that only hold once a page has settled
+// (no round, no queues, nothing on the wire for it) are checked only
+// for such quiet pages.
+//
+//   - Structural (every boundary): the home SSMP is never registered in
+//     a directory; a remote write copy always has a twin (or its diffs
+//     would be unrecoverable — "no lost diffs"); round bookkeeping
+//     (count, invalidation queue, retained writer) exists only inside a
+//     round.
+//   - Quiet pages: the directories are sound — a write_dir bit implies
+//     the SSMP actually holds (or is fetching) a write copy, read_dir
+//     likewise, and conversely every remote copy is registered. The
+//     stale-WNOTIFY mutation plants exactly the phantom write_dir bit
+//     the first of these rejects.
+func checkInvariants(w Workload, snaps []core.PageSnap, pending []sim.Choice) error {
+	for _, sn := range snaps {
+		homeSSMP := sn.HomeProc / w.C
+		homeBit := uint64(1) << uint(homeSSMP)
+		if (sn.ReadDir|sn.WriteDir)&homeBit != 0 {
+			return fmt.Errorf("check: page %d registers its own home SSMP %d in a directory (R=%b W=%b)",
+				sn.Page, homeSSMP, sn.ReadDir, sn.WriteDir)
+		}
+		if sn.Count < 0 {
+			return fmt.Errorf("check: page %d negative reply count %d", sn.Page, sn.Count)
+		}
+		if !sn.InRound {
+			if sn.Count > 0 {
+				return fmt.Errorf("check: page %d expects %d invalidation replies outside a round", sn.Page, sn.Count)
+			}
+			if sn.InvQueued > 0 {
+				return fmt.Errorf("check: page %d has %d queued invalidations outside a round", sn.Page, sn.InvQueued)
+			}
+			if sn.KeepWriter >= 0 {
+				return fmt.Errorf("check: page %d retains writer %d outside a round", sn.Page, sn.KeepWriter)
+			}
+		}
+		for _, cs := range sn.Clients {
+			if cs.SSMP == homeSSMP {
+				continue
+			}
+			if cs.State == core.PWrite && !cs.HasTwin {
+				return fmt.Errorf("check: page %d ssmp %d holds a write copy with no twin (diffs would be lost)",
+					sn.Page, cs.SSMP)
+			}
+		}
+
+		inflight := 0
+		for _, ch := range pending {
+			if ch.Label.Page == int64(sn.Page) {
+				inflight++
+			}
+		}
+		quiet := !sn.InRound && sn.InvQueued == 0 &&
+			sn.PendRel == 0 && sn.PendReq == 0 && sn.PendReRel == 0 && inflight == 0
+		if !quiet {
+			continue
+		}
+		for _, cs := range sn.Clients {
+			if cs.SSMP == homeSSMP {
+				continue
+			}
+			b := uint64(1) << uint(cs.SSMP)
+			switch {
+			case sn.WriteDir&b != 0:
+				if cs.State != core.PWrite && cs.State != core.PBusy {
+					return fmt.Errorf("check: page %d quiet, write_dir registers ssmp %d but its client is %v (phantom write copy)",
+						sn.Page, cs.SSMP, cs.State)
+				}
+			case sn.ReadDir&b != 0:
+				if cs.State != core.PRead && cs.State != core.PWrite && cs.State != core.PBusy {
+					return fmt.Errorf("check: page %d quiet, read_dir registers ssmp %d but its client is %v",
+						sn.Page, cs.SSMP, cs.State)
+				}
+			}
+			switch cs.State {
+			case core.PWrite:
+				if sn.WriteDir&b == 0 {
+					return fmt.Errorf("check: page %d quiet, ssmp %d holds a write copy unregistered in write_dir",
+						sn.Page, cs.SSMP)
+				}
+			case core.PRead:
+				if sn.ReadDir&b == 0 {
+					return fmt.Errorf("check: page %d quiet, ssmp %d holds a read copy unregistered in read_dir",
+						sn.Page, cs.SSMP)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package check is the MGS model checker: a bounded-exhaustive explorer
+// that drives the real protocol implementation (internal/core) through
+// every message-delivery interleaving of small fixed workloads, checking
+// protocol invariants at every delivery boundary and cross-checking each
+// execution against an executable abstract specification of the
+// Local Client / Remote Client / Server state machines (paper Tables
+// 2–3). Counterexamples serialize as replayable choice traces
+// (cmd/mgs-check -replay).
+package check
+
+import (
+	"fmt"
+
+	"mgs/internal/harness"
+	"mgs/internal/obs"
+	"mgs/internal/vm"
+)
+
+// OpKind is one step of a workload script.
+type OpKind uint8
+
+const (
+	// OpWrite stores the op's sentinel value (proc*1000+index+1) to the
+	// word. Every word has a unique writer, so runs are data-race-free
+	// and every read has a computable set of legal values.
+	OpWrite OpKind = iota
+	// OpRead loads the word and records the observed value for
+	// end-of-run validation.
+	OpRead
+	// OpFence drains the processor's delayed update queue (an explicit
+	// release point).
+	OpFence
+)
+
+// Op is one scripted operation.
+type Op struct {
+	Kind OpKind
+	Page int // page index within the workload's shared region
+	Word int // 8-byte word index within the page
+}
+
+// Workload is one fixed, small scenario the explorer enumerates
+// schedules of: a machine shape, a homed shared region, and a per-
+// processor script. Scripts must be data-race-free (one writer per
+// word) and every processor that writes must end with OpFence, so the
+// home frames are authoritative at quiescence.
+type Workload struct {
+	Name     string
+	P, C     int
+	Pages    int
+	PageSize int
+	Home     []int  // home processor of each page
+	Script   [][]Op // per-processor op sequences
+}
+
+// WriteVal is the sentinel op (proc, index) writes: unique per op, so a
+// read's observed value names exactly which write it saw.
+func WriteVal(proc, idx int) int64 { return int64(proc*1000 + idx + 1) }
+
+// Workloads returns the built-in scenarios, in fixed order.
+func Workloads() []Workload {
+	w := func(p, wd int) Op { return Op{Kind: OpWrite, Page: p, Word: wd} }
+	r := func(p, wd int) Op { return Op{Kind: OpRead, Page: p, Word: wd} }
+	f := Op{Kind: OpFence}
+	return []Workload{
+		{
+			// Two SSMPs write disjoint words of one page homed at proc 0
+			// and cross-read: the multiple-writer twin/diff path, home
+			// in-place writes, and release rounds all exercise.
+			Name: "write-share", P: 2, C: 1, Pages: 1, PageSize: 256,
+			Home: []int{0},
+			Script: [][]Op{
+				{w(0, 0), f, r(0, 1)},
+				{w(0, 1), f, r(0, 0)},
+			},
+		},
+		{
+			// Proc 0 reads then upgrades a page homed at proc 1 while
+			// proc 1 writes and releases: the WNOTIFY from the upgrade
+			// can be delayed past the release round that captures the
+			// copy — the stale-notification window the incarnation check
+			// in core guards (and Costs.MutStaleWNotify re-opens).
+			Name: "upgrade-race", P: 2, C: 1, Pages: 1, PageSize: 256,
+			Home: []int{1},
+			Script: [][]Op{
+				{r(0, 1), w(0, 0), f},
+				{w(0, 1), f, r(0, 0)},
+			},
+		},
+		{
+			// Two pages with opposite homes, each written by both
+			// processors: interleaved release rounds on independent
+			// pages.
+			Name: "two-page", P: 2, C: 1, Pages: 2, PageSize: 256,
+			Home: []int{0, 1},
+			Script: [][]Op{
+				{w(0, 0), w(1, 0), f, r(1, 1)},
+				{w(1, 1), w(0, 1), f, r(0, 0)},
+			},
+		},
+		{
+			// Three SSMPs in a ring on one page: concurrent rounds with
+			// pended releases and requests.
+			Name: "three-proc", P: 3, C: 1, Pages: 1, PageSize: 256,
+			Home: []int{0},
+			Script: [][]Op{
+				{w(0, 0), f, r(0, 1)},
+				{w(0, 1), f, r(0, 2)},
+				{w(0, 2), f, r(0, 0)},
+			},
+		},
+	}
+}
+
+// Lookup finds a built-in workload by name.
+func Lookup(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Validate checks the structural rules the explorer's oracles rely on.
+func (w Workload) Validate() error {
+	if w.P <= 0 || w.C <= 0 || w.P%w.C != 0 {
+		return fmt.Errorf("check: workload %q: bad shape P=%d C=%d", w.Name, w.P, w.C)
+	}
+	if len(w.Home) != w.Pages {
+		return fmt.Errorf("check: workload %q: %d pages but %d homes", w.Name, w.Pages, len(w.Home))
+	}
+	if len(w.Script) != w.P {
+		return fmt.Errorf("check: workload %q: %d procs but %d scripts", w.Name, w.P, len(w.Script))
+	}
+	writer := make(map[[2]int]int)
+	for p, ops := range w.Script {
+		unfenced := false
+		for _, op := range ops {
+			if op.Kind == OpFence {
+				unfenced = false
+				continue
+			}
+			if op.Page < 0 || op.Page >= w.Pages || op.Word < 0 || op.Word >= w.PageSize/8 {
+				return fmt.Errorf("check: workload %q: op out of range page=%d word=%d", w.Name, op.Page, op.Word)
+			}
+			if op.Kind == OpWrite {
+				unfenced = true
+				k := [2]int{op.Page, op.Word}
+				if q, ok := writer[k]; ok && q != p {
+					return fmt.Errorf("check: workload %q: word (%d,%d) written by procs %d and %d (scripts must be DRF)",
+						w.Name, op.Page, op.Word, q, p)
+				}
+				writer[k] = p
+			}
+		}
+		if unfenced {
+			return fmt.Errorf("check: workload %q: proc %d has writes after its last fence", w.Name, p)
+		}
+	}
+	return nil
+}
+
+// readObs is one observed read, validated at end of run.
+type readObs struct {
+	Proc, Idx  int
+	Page, Word int
+	Val        int64
+}
+
+// runState is the host-side progress record of one execution: per-
+// processor instruction pointers (folded into the canonical state hash
+// so two states that differ only in script progress stay distinct) and
+// the reads observed so far.
+type runState struct {
+	ip    []int64
+	reads []readObs
+}
+
+// wordAddr returns the simulated address of (page, word) in the shared
+// region at base.
+func (w Workload) wordAddr(base vm.Addr, page, word int) vm.Addr {
+	return base + vm.Addr(page*w.PageSize+word*8)
+}
+
+// bodyFor builds processor i's script runner. Procs are engine
+// coroutines, so the shared runState needs no locking.
+func (w Workload) bodyFor(rs *runState, base vm.Addr, i int) func(c *harness.Ctx) {
+	ops := w.Script[i]
+	return func(c *harness.Ctx) {
+		for k, op := range ops {
+			rs.ip[i] = int64(k)
+			switch op.Kind {
+			case OpWrite:
+				c.StoreI64(w.wordAddr(base, op.Page, op.Word), WriteVal(i, k))
+			case OpRead:
+				v := c.LoadI64(w.wordAddr(base, op.Page, op.Word))
+				rs.reads = append(rs.reads, readObs{Proc: i, Idx: k, Page: op.Page, Word: op.Word, Val: v})
+			case OpFence:
+				c.Fence()
+			}
+		}
+		rs.ip[i] = int64(len(ops))
+	}
+}
+
+// newMachine assembles one fresh machine for the workload, with the
+// spec listening on the observability spine and (optionally) an extra
+// sink rendering the run for humans. mutate arms the seeded
+// stale-WNOTIFY bug (Costs.MutStaleWNotify).
+func (w Workload) newMachine(sp *Spec, extra obs.Sink, mutate bool) (*harness.Machine, *runState, vm.Addr) {
+	o := obs.New().AddSink(obs.FuncSink(sp.Feed))
+	if extra != nil {
+		o.AddSink(extra)
+	}
+	cfg := harness.NewConfig(w.P, w.C,
+		harness.WithPageSize(w.PageSize),
+		harness.WithObserver(o))
+	cfg.Protocol.MutStaleWNotify = mutate
+	m := harness.NewMachine(cfg)
+	base := m.AllocHomed(w.Pages*w.PageSize, func(pg int) int { return w.Home[pg] })
+	sp.SetBase(int64(m.DSM.Space().PageOf(base)))
+	rs := &runState{ip: make([]int64, w.P)}
+	return m, rs, base
+}
+
+// finalChecks validates the value-level oracles after a clean run:
+// every observed read saw a legal value (its own latest write for the
+// word's writer, otherwise zero or any sentinel its unique writer ever
+// stores), the home frames hold exactly the last write of every word,
+// and every delayed update queue drained.
+func (w Workload) finalChecks(m *harness.Machine, rs *runState) error {
+	type wordKey = [2]int
+	writer := make(map[wordKey]int)
+	last := make(map[wordKey]int64)
+	legal := make(map[wordKey]map[int64]bool)
+	for p, ops := range w.Script {
+		for k, op := range ops {
+			if op.Kind != OpWrite {
+				continue
+			}
+			key := wordKey{op.Page, op.Word}
+			writer[key] = p
+			last[key] = WriteVal(p, k)
+			if legal[key] == nil {
+				legal[key] = map[int64]bool{0: true}
+			}
+			legal[key][WriteVal(p, k)] = true
+		}
+	}
+	for _, r := range rs.reads {
+		key := wordKey{r.Page, r.Word}
+		if wp, ok := writer[key]; ok && wp == r.Proc {
+			// The word's own writer must read its latest prior write.
+			want := int64(0)
+			for k, op := range w.Script[r.Proc][:r.Idx] {
+				if op.Kind == OpWrite && op.Page == r.Page && op.Word == r.Word {
+					want = WriteVal(r.Proc, k)
+				}
+			}
+			if r.Val != want {
+				return fmt.Errorf("check: proc %d op %d read own word (%d,%d) = %d, want %d",
+					r.Proc, r.Idx, r.Page, r.Word, r.Val, want)
+			}
+			continue
+		}
+		set := legal[key]
+		if set == nil {
+			set = map[int64]bool{0: true}
+		}
+		if !set[r.Val] {
+			return fmt.Errorf("check: proc %d op %d read word (%d,%d) = %d, not a value any write produced",
+				r.Proc, r.Idx, r.Page, r.Word, r.Val)
+		}
+	}
+	// The shared region is the machine's only allocation; recover its
+	// base from the break and the workload geometry.
+	base := m.DSM.Space().Brk() - vm.Addr(w.Pages*w.PageSize)
+	for pg := 0; pg < w.Pages; pg++ {
+		for wd := 0; wd < w.PageSize/8; wd++ {
+			want := last[wordKey{pg, wd}] // zero for unwritten words
+			got := m.GetI64(w.wordAddr(base, pg, wd))
+			if got != want {
+				return fmt.Errorf("check: final memory word (%d,%d) = %d, want %d (release visibility)",
+					pg, wd, got, want)
+			}
+		}
+	}
+	for p := 0; p < w.P; p++ {
+		if q := m.DSM.DUQPages(p); len(q) != 0 {
+			return fmt.Errorf("check: proc %d delayed update queue not drained at quiescence: %v", p, q)
+		}
+	}
+	return nil
+}

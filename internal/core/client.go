@@ -51,7 +51,8 @@ func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 	case cp.state == PWrite || (cp.state == PRead && !write):
 		// Arc 1 / arcs 3,4: mapping exists locally; fill the TLB.
 		s.spend(p, stats.MGS, c.TLBFill)
-		s.emitPage(p.Clock(), p.ID, v, "LOCALFILL", "proc %d write=%v state=%v", p.ID, write, cp.state)
+		s.emitPageArgs(p.Clock(), p.ID, v, "LOCALFILL", [3]int64{b2i(write), int64(cp.state), 0},
+			"proc %d write=%v state=%v", p.ID, write, cp.state)
 		s.st.Count("tlbfill.local", 1)
 		priv := vm.Read
 		if cp.state == PWrite && write {
@@ -73,7 +74,8 @@ func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 		cp.tlbDir |= bit(s.within(p.ID))
 		s.spend(p, stats.MGS, s.net.SendCost())
 		cpRef := cp
-		s.net.Send(p.ID, cp.ownerProc, p.Clock(), c.CtrlBytes, c.UpWork,
+		s.net.SendTagged(sim.Label{Kind: "UPGRADE", Page: int64(v), Src: p.ID, Dst: cp.ownerProc},
+			p.ID, cp.ownerProc, p.Clock(), c.CtrlBytes, c.UpWork,
 			func(at sim.Time) { s.onUpgrade(cpRef, p, at) })
 		s.parkCharge(p, stats.MGS) // woken by the UP_ACK handler
 		// The UP_ACK handler filled the TLB, added the page to the
@@ -88,9 +90,12 @@ func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 			s.st.Count("rreq", 1)
 		}
 		sp := s.server(v)
+		s.emitPageArgs(p.Clock(), p.ID, v, "REQSTART", [3]int64{b2i(write), 0, 0},
+			"proc %d write=%v", p.ID, write)
 		s.spend(p, stats.MGS, s.net.SendCost())
 		cpRef, w := cp, write
-		s.net.Send(p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.ReqWork,
+		s.net.SendTagged(sim.Label{Kind: "REQ", Page: int64(v), Src: p.ID, Dst: sp.homeProc, Aux: b2i(write)},
+			p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.ReqWork,
 			func(at sim.Time) { s.onRequest(sp, cpRef, p, w, at) })
 		s.parkCharge(p, stats.MGS) // woken by the RDAT/WDAT handler
 
@@ -141,6 +146,9 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 	c := &s.cfg.Costs
 	o := cp.ownerProc
 	s.emitEngine(at, -1, cp.page, "RCLIENT", 0, "owner %d for proc %d", o, requester.ID)
+	s.emitPageArgs(at, requester.ID, cp.page, "UPGRADE",
+		[3]int64{b2i(cp.state == PRead), int64(cp.ssmp), b2i(cp.ssmp == s.ssmpOf(s.server(cp.page).homeProc))},
+		"ssmp %d applied=%v", cp.ssmp, cp.state == PRead)
 	if cp.state == PRead {
 		sp := s.server(cp.page)
 		isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
@@ -170,29 +178,37 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 			// over-registering is unsound.
 			ssmp := cp.ssmp
 			gen := cp.gen
-			s.net.Send(o, sp.homeProc, at, c.CtrlBytes, 0, func(at2 sim.Time) {
-				if cp.gen != gen || cp.state != PWrite {
-					s.st.Count("wnotify.stale", 1)
-					s.emitPage(at2, -1, sp.page, "WNOTIFY", "from ssmp %d STALE (gen %d != %d or state %v)", ssmp, gen, cp.gen, cp.state)
-					return
-				}
-				s.st.Count("wnotify", 1)
-				s.emitPage(at2, -1, sp.page, "WNOTIFY", "from ssmp %d (state %d)", ssmp, sp.state)
-				sp.readDir &^= bit(ssmp)
-				sp.writeDir |= bit(ssmp)
-				if sp.state == sRead {
-					sp.state = sWrite
-				}
-			})
+			s.net.SendTagged(sim.Label{Kind: "WNOTIFY", Page: int64(cp.page), Src: o, Dst: sp.homeProc, Aux: gen},
+				o, sp.homeProc, at, c.CtrlBytes, 0, func(at2 sim.Time) {
+					stale := cp.gen != gen || cp.state != PWrite
+					// Costs.MutStaleWNotify (model-checker mutation test
+					// only) bypasses the staleness check, re-introducing
+					// the phantom write_dir bit this check exists to kill.
+					if stale && !s.cfg.Costs.MutStaleWNotify {
+						s.st.Count("wnotify.stale", 1)
+						s.emitPageArgs(at2, -1, sp.page, "WNOTIFY", [3]int64{1, int64(ssmp), gen},
+							"from ssmp %d STALE (gen %d != %d or state %v)", ssmp, gen, cp.gen, cp.state)
+						return
+					}
+					s.st.Count("wnotify", 1)
+					s.emitPageArgs(at2, -1, sp.page, "WNOTIFY", [3]int64{0, int64(ssmp), gen},
+						"from ssmp %d (state %d)", ssmp, sp.state)
+					sp.readDir &^= bit(ssmp)
+					sp.writeDir |= bit(ssmp)
+					if sp.state == sRead {
+						sp.state = sWrite
+					}
+				})
 		}
 	}
 	// UP_ACK back to the requester (arc 7).
 	v := cp.page
-	s.net.Send(o, requester.ID, at, c.CtrlBytes, 0, func(at2 sim.Time) {
-		ss := s.ssmps[cp.ssmp]
-		ss.duqs[s.within(requester.ID)].add(v)
-		s.insertTLB(ss, requester.ID, v, vm.Write)
-		s.unlock(cp, at2)
-		requester.Wake(at2)
-	})
+	s.net.SendTagged(sim.Label{Kind: "UPACK", Page: int64(v), Src: o, Dst: requester.ID},
+		o, requester.ID, at, c.CtrlBytes, 0, func(at2 sim.Time) {
+			ss := s.ssmps[cp.ssmp]
+			ss.duqs[s.within(requester.ID)].add(v)
+			s.insertTLB(ss, requester.ID, v, vm.Write)
+			s.unlock(cp, at2)
+			requester.Wake(at2)
+		})
 }

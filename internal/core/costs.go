@@ -64,6 +64,15 @@ type Costs struct {
 	// round they modify never runs). See lazy.go.
 	LazyRelease bool
 
+	// MutStaleWNotify re-introduces the stale-WNOTIFY bug the
+	// incarnation check in onUpgrade kills: a write notification delayed
+	// past the release round that captured its copy re-registers a
+	// phantom write_dir bit for an SSMP that holds nothing. It exists
+	// solely so the model checker's mutation regression test
+	// (internal/check) can prove the explorer detects the bug; never set
+	// it outside tests.
+	MutStaleWNotify bool
+
 	// UpdateProtocol switches release rounds from invalidate to update
 	// (the Galactica Net comparison from the paper's related work):
 	// copies are not torn down; after the merge, the home pushes the

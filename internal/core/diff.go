@@ -20,6 +20,28 @@ type DiffRange struct {
 // order. All ranges of one Diff share a single backing buffer.
 type Diff []DiffRange
 
+// Checksum returns a deterministic FNV-1a digest of the diff's ranges
+// (offsets and payloads). The model checker folds it into message
+// labels so in-flight diffs with different contents never hash to the
+// same pending-event multiset; it is never computed on normal runs.
+func (d Diff) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	step := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	for _, r := range d {
+		for sh := 0; sh < 64; sh += 8 {
+			step(byte(uint64(r.Off) >> sh))
+		}
+		for _, b := range r.Data {
+			step(b)
+		}
+	}
+	return h
+}
+
 // Word-wise scan constants: x-lo&^x&hi is nonzero iff the word x has a
 // zero byte (exact — borrows only occur past a zero byte).
 const (

@@ -17,7 +17,8 @@ func (s *System) onRequest(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 		// Arc 22: queue behind the release in progress.
 		sp.pendReq = append(sp.pendReq, pendingReq{proc: p.ID, write: write})
 		s.st.Count("req.pended", 1)
-		s.emitPage(at, p.ID, sp.page, "REQ", "from proc %d write=%v PENDED", p.ID, write)
+		s.emitPageArgs(at, p.ID, sp.page, "REQ", [3]int64{b2i(write), int64(cp.ssmp), 0},
+			"from proc %d write=%v PENDED", p.ID, write)
 		return
 	}
 	s.serveData(sp, cp, p, write, at)
@@ -78,13 +79,15 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 	} else {
 		s.st.Count("rdat.home", 1)
 	}
-	s.emitPage(at, p.ID, sp.page, "SERVE", "to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", p.ID, r, write, sp.readDir, sp.writeDir, sp.homeProc)
+	s.emitPageArgs(at, p.ID, sp.page, "SERVE", [3]int64{b2i(write), int64(r), b2i(r == homeSSMP)},
+		"to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", p.ID, r, write, sp.readDir, sp.writeDir, sp.homeProc)
 	// The copy reflects the home version as of SERVE time: a merge that
 	// lands while the data is on the wire must leave the copy stale.
 	servedVer := sp.version
-	s.net.Send(sp.homeProc, p.ID, at, bytes, 0, func(at2 sim.Time) {
-		s.onData(sp, cp, p, write, servedVer, at2)
-	})
+	s.net.SendTagged(sim.Label{Kind: "DATA", Page: int64(sp.page), Src: sp.homeProc, Dst: p.ID, Aux: b2i(write)},
+		sp.homeProc, p.ID, at, bytes, 0, func(at2 sim.Time) {
+			s.onData(sp, cp, p, write, servedVer, at2)
+		})
 }
 
 // onData is the Local Client's RDAT/WDAT handler (arcs 6–7), running on
@@ -128,7 +131,8 @@ func (s *System) onData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool,
 	if write {
 		priv = vm.Write
 	}
-	s.emitPage(at, p.ID, cp.page, "DATA", "at proc %d write=%v", p.ID, write)
+	s.emitPageArgs(at, p.ID, cp.page, "DATA", [3]int64{b2i(write), b2i(isHome), 0},
+		"at proc %d write=%v", p.ID, write)
 	s.insertTLB(ss, p.ID, cp.page, priv)
 	s.unlock(cp, at)
 	p.Wake(at)
@@ -179,7 +183,8 @@ func (s *System) ReleaseAll(p *sim.Proc) {
 		s.st.Count("rel", 1)
 		s.spend(p, stats.MGS, s.net.SendCost())
 		relProc := p.ID
-		s.net.Send(p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.RelWork,
+		s.net.SendTagged(sim.Label{Kind: "REL", Page: int64(v), Src: p.ID, Dst: sp.homeProc},
+			p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.RelWork,
 			func(at sim.Time) { s.onRel(sp, relProc, at) })
 		// Deviation from Table 1 (which holds the lock to the RACK):
 		// the release round sends an INV back to this SSMP, and that
@@ -202,7 +207,8 @@ func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
 		// round never saw. Those releases re-run as a fresh round.
 		if sp.captured&bit(s.ssmpOf(relProc)) != 0 {
 			sp.pendReRel = append(sp.pendReRel, relProc)
-			s.emitPage(at, relProc, sp.page, "REL", "from proc %d REQUEUED (ssmp already captured)", relProc)
+			s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relRequeued, 0, 0},
+				"from proc %d REQUEUED (ssmp already captured)", relProc)
 			return
 		}
 		if s.cfg.Costs.UpdateProtocol && sp.refreshDone && s.ssmpOf(relProc) == s.ssmpOf(sp.homeProc) {
@@ -210,20 +216,24 @@ func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
 			// release's in-place writes; folding it in would RACK a
 			// release whose data the refreshes never carried.
 			sp.pendReRel = append(sp.pendReRel, relProc)
-			s.emitPage(at, relProc, sp.page, "REL", "from proc %d REQUEUED (post-image home release)", relProc)
+			s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relRequeuedHome, 0, 0},
+				"from proc %d REQUEUED (post-image home release)", relProc)
 			return
 		}
 		sp.pendRel = append(sp.pendRel, relProc)
-		s.emitPage(at, relProc, sp.page, "REL", "from proc %d PENDED", relProc)
+		s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relPended, 0, 0},
+			"from proc %d PENDED", relProc)
 		return
 	}
 	targets := sp.readDir | sp.writeDir
 	if targets == 0 {
-		s.emitPage(at, relProc, sp.page, "REL", "from proc %d NOTARGETS", relProc)
+		s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relNoTargets, 0, 0},
+			"from proc %d NOTARGETS", relProc)
 		s.sendRack(sp, relProc, at)
 		return
 	}
-	s.emitPage(at, relProc, sp.page, "REL", "from proc %d -> round targets=%b writeDir=%b", relProc, targets, sp.writeDir)
+	s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relRound, int64(targets), int64(sp.writeDir)},
+		"from proc %d -> round targets=%b writeDir=%b", relProc, targets, sp.writeDir)
 	sp.state = sRel
 	sp.count = bits.OnesCount64(targets)
 	sp.pendRel = append(sp.pendRel, relProc)
@@ -255,7 +265,8 @@ func (s *System) dispatchInv(sp *serverPage, at sim.Time) {
 	sp.invQueue = sp.invQueue[1:]
 	cp := s.ssmps[t.ssmp].pages[sp.page]
 	oneW := t.oneW
-	s.net.Send(sp.homeProc, s.clientOwner(cp), at, s.cfg.Costs.CtrlBytes, 0,
+	s.net.SendTagged(sim.Label{Kind: "INV", Page: int64(sp.page), Src: sp.homeProc, Dst: s.clientOwner(cp), Aux: b2i(oneW)},
+		sp.homeProc, s.clientOwner(cp), at, s.cfg.Costs.CtrlBytes, 0,
 		func(at2 sim.Time) { s.onInv(sp, cp, oneW, at2) })
 }
 
@@ -269,6 +280,8 @@ func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
 		if cp.state != PWrite && cp.state != PRead {
 			// Copy already gone; acknowledge with nothing to merge.
 			sp.captured |= bit(cp.ssmp)
+			s.emitPageArgs(at, -1, cp.page, "FINISHINV", [3]int64{finvGone, int64(cp.ssmp), 0},
+				"ssmp %d copy already gone (state=%v)", cp.ssmp, cp.state)
 			s.replyInv(sp, o, ackReply, nil, at)
 			s.unlock(cp, at)
 			return
@@ -277,7 +290,8 @@ func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
 		at = s.net.Extend(o, at, ss.domain.CleanPage(cp.frame, cp.dir))
 		cp.invOneW = oneW
 		cp.invCount = bits.OnesCount64(cp.tlbDir)
-		s.emitPage(at, -1, cp.page, "INVSTART", "ssmp %d tlbDir=%b state=%v oneW=%v", cp.ssmp, cp.tlbDir, cp.state, oneW)
+		s.emitPageArgs(at, -1, cp.page, "INVSTART", [3]int64{int64(cp.ssmp), b2i(oneW), int64(cp.invCount)},
+			"ssmp %d tlbDir=%b state=%v oneW=%v", cp.ssmp, cp.tlbDir, cp.state, oneW)
 		if cp.invCount == 0 {
 			s.finishInv(sp, cp, at)
 			return
@@ -287,19 +301,21 @@ func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
 		for t := cp.tlbDir; t != 0; t &= t - 1 {
 			q := s.ssmpBase(cp.ssmp) + bits.TrailingZeros64(t)
 			s.st.Count("pinv", 1)
-			s.net.Send(o, q, at, c.CtrlBytes, c.PinvWork, func(at2 sim.Time) {
-				// PINV (arc 11): drop the TLB entry, then acknowledge.
-				// Unlike the table's arc 12, the processor's DUQ entry
-				// stays — see the note in finishInv.
-				s.tlbs[q].Invalidate(v)
-				s.net.Send(q, o, at2, c.CtrlBytes, 0, func(at3 sim.Time) {
-					// PINV_ACK (arcs 15–16).
-					cp.invCount--
-					if cp.invCount == 0 {
-						s.finishInv(sp, cp, at3)
-					}
+			s.net.SendTagged(sim.Label{Kind: "PINV", Page: int64(v), Src: o, Dst: q},
+				o, q, at, c.CtrlBytes, c.PinvWork, func(at2 sim.Time) {
+					// PINV (arc 11): drop the TLB entry, then acknowledge.
+					// Unlike the table's arc 12, the processor's DUQ entry
+					// stays — see the note in finishInv.
+					s.tlbs[q].Invalidate(v)
+					s.net.SendTagged(sim.Label{Kind: "PINVACK", Page: int64(v), Src: q, Dst: o},
+						q, o, at2, c.CtrlBytes, 0, func(at3 sim.Time) {
+							// PINV_ACK (arcs 15–16).
+							cp.invCount--
+							if cp.invCount == 0 {
+								s.finishInv(sp, cp, at3)
+							}
+						})
 				})
-			})
 		}
 	})
 }
@@ -342,7 +358,17 @@ func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
 	// otherwise its release could complete before the captured data
 	// reaches the home, and the next lock holder would read stale data.
 
-	s.emitPage(at, -1, cp.page, "FINISHINV", "ssmp %d state=%v oneW=%v", cp.ssmp, cp.state, cp.invOneW)
+	arm := finvAckTeardown
+	switch {
+	case s.cfg.Costs.UpdateProtocol:
+		arm = finvUpdateCapture
+	case cp.invOneW:
+		arm = finvOneWRetain
+	case cp.state == PWrite:
+		arm = finvDiffTeardown
+	}
+	s.emitPageArgs(at, -1, cp.page, "FINISHINV", [3]int64{arm, int64(cp.ssmp), b2i(isHome)},
+		"ssmp %d state=%v oneW=%v", cp.ssmp, cp.state, cp.invOneW)
 	if s.cfg.Costs.UpdateProtocol {
 		// Update protocol: capture the copy's modifications but keep
 		// the copy itself; the round's refresh phase will overwrite it
@@ -441,9 +467,18 @@ func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at si
 			bytes += s.cfg.PageSize
 		}
 	}
-	s.net.Send(from, sp.homeProc, at, bytes, 0, func(at2 sim.Time) {
-		s.onInvReply(sp, from, kind, d, at2)
-	})
+	// The label folds in the payload digest: two states that differ only
+	// in the contents of an in-flight reply must not look identical to
+	// the model checker's pending-event hash. Never computed on normal
+	// runs (no chooser armed).
+	aux := int64(kind)
+	if s.eng.Choosing() && len(d) > 0 {
+		aux |= int64(d.Checksum()<<8) >> 8 << 8 // keep kind in the low byte
+	}
+	s.net.SendTagged(sim.Label{Kind: "IREPLY", Page: int64(sp.page), Src: from, Dst: sp.homeProc, Aux: aux},
+		from, sp.homeProc, at, bytes, 0, func(at2 sim.Time) {
+			s.onInvReply(sp, from, kind, d, at2)
+		})
 }
 
 // onInvReply is the Server's ACK/DIFF/1WDATA handler (arcs 22–23): merge
@@ -452,7 +487,8 @@ func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at si
 // processor.
 func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, at sim.Time) {
 	c := &s.cfg.Costs
-	s.emitPage(at, -1, sp.page, "INVREPLY", "kind=%d diff=%d count->%d", kind, len(d), sp.count-1)
+	s.emitPageArgs(at, -1, sp.page, "INVREPLY", [3]int64{int64(kind), int64(s.ssmpOf(from)), int64(len(d))},
+		"kind=%d diff=%d count->%d", kind, len(d), sp.count-1)
 	if kind == ackReply && sp.keepWriter >= 0 && s.ssmpOf(from) == sp.keepWriter {
 		// The supposedly retained single writer reports its copy already
 		// gone: its write_dir bit was a phantom. That happens when a
@@ -567,7 +603,8 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 		// it with a follow-up INV before the round completes (and thus
 		// before any RACK — so no post-release lock grant can read the
 		// stale copy).
-		s.emitPage(at, -1, sp.page, "DEMOTE", "retained ssmp %d", sp.keepWriter)
+		s.emitPageArgs(at, -1, sp.page, "DEMOTE", [3]int64{int64(sp.keepWriter), 0, 0},
+			"retained ssmp %d", sp.keepWriter)
 		s.st.Count("1wdemote", 1)
 		sp.invQueue = append(sp.invQueue, invTarget{ssmp: sp.keepWriter, oneW: false})
 		sp.keepWriter = -1
@@ -578,7 +615,9 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 	}
 	sp.sawDiff = false
 	sp.homeDirty = false
-	s.emitPage(at, -1, sp.page, "FINISHREL", "keep=%d pendRel=%v pendReq=%v", sp.keepWriter, sp.pendRel, sp.pendReq)
+	s.emitPageArgs(at, -1, sp.page, "FINISHREL",
+		[3]int64{int64(sp.keepWriter), int64(len(sp.pendRel)), int64(len(sp.pendReq))},
+		"keep=%d pendRel=%v pendReq=%v", sp.keepWriter, sp.pendRel, sp.pendReq)
 	sp.readDir = 0
 	sp.writeDir = 0
 	sp.state = sRead
@@ -682,7 +721,8 @@ func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
 // sendRack acknowledges a release to the waiting processor (arc 9–10).
 func (s *System) sendRack(sp *serverPage, relProc int, at sim.Time) {
 	s.st.Count("rack", 1)
-	s.net.Send(sp.homeProc, relProc, at, s.cfg.Costs.CtrlBytes, 0, func(at2 sim.Time) {
-		s.procs[relProc].Wake(at2)
-	})
+	s.net.SendTagged(sim.Label{Kind: "RACK", Page: int64(sp.page), Src: sp.homeProc, Dst: relProc},
+		sp.homeProc, relProc, at, s.cfg.Costs.CtrlBytes, 0, func(at2 sim.Time) {
+			s.procs[relProc].Wake(at2)
+		})
 }

@@ -105,7 +105,7 @@ type clientPage struct {
 	ownerProc int    // global proc owning this SSMP's copy (first touch); -1 until placed
 	lk        ptLock
 	version   int64 // home version this copy reflects (lazy release only)
-	gen       int64 // incarnation counter, bumped at teardown (lazy release only)
+	gen       int64 // incarnation counter, bumped at teardown (lazy versioning, stale-WNOTIFY check)
 
 	// Lazy-release bookkeeping: diff-carrying RELs of this copy's data
 	// still in flight, and releases waiting for them to reach the home
@@ -209,6 +209,22 @@ func (s *System) emitPage(t sim.Time, proc int, v vm.Page, name, format string, 
 	s.Obs.Emit(obs.Event{
 		T: t, Proc: proc, Cat: obs.Protocol, Name: name,
 		Kind: obs.ObjPage, ID: int64(v), Detail: detail,
+	})
+}
+
+// emitPageArgs is emitPage with structured Args attached — the protocol
+// facts the model checker's refinement spec consumes (internal/check).
+func (s *System) emitPageArgs(t sim.Time, proc int, v vm.Page, name string, args [3]int64, format string, fa ...any) {
+	if !s.Obs.Tracing() {
+		return
+	}
+	var detail string
+	if format != "" {
+		detail = fmt.Sprintf(format, fa...)
+	}
+	s.Obs.Emit(obs.Event{
+		T: t, Proc: proc, Cat: obs.Protocol, Name: name,
+		Kind: obs.ObjPage, ID: int64(v), Args: args, Detail: detail,
 	})
 }
 

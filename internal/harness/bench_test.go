@@ -23,7 +23,7 @@ func homedAddr(m *Machine) vm.Addr {
 // instruction the simulator executes ~10⁷ times per second in a sweep;
 // the fast-path invariant is 0 allocs/op.
 func BenchmarkAccessFastPath(b *testing.B) {
-	m := NewMachine(DefaultConfig(2, 1))
+	m := NewMachine(NewConfig(2, 1))
 	va := homedAddr(m)
 	b.ReportAllocs()
 	if _, err := m.RunPer(func(i int) func(c *Ctx) {
@@ -46,7 +46,7 @@ func BenchmarkAccessFastPath(b *testing.B) {
 // BenchmarkAccessWritePath measures the store hit path (TLB write
 // privilege held, line Modified in the local cache).
 func BenchmarkAccessWritePath(b *testing.B) {
-	m := NewMachine(DefaultConfig(2, 1))
+	m := NewMachine(NewConfig(2, 1))
 	va := homedAddr(m)
 	b.ReportAllocs()
 	if _, err := m.RunPer(func(i int) func(c *Ctx) {

@@ -8,9 +8,7 @@ import (
 )
 
 func testCfg(p, c int) Config {
-	cfg := DefaultConfig(p, c)
-	cfg.Delay = 500
-	return cfg
+	return NewConfig(p, c, WithInterSSMPDelay(500))
 }
 
 func TestCtxLoadStoreRoundTrips(t *testing.T) {

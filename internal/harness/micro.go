@@ -37,15 +37,12 @@ var PaperMicro = Micro{
 
 // microConfig is the Table 3 measurement machine: 0-cycle LAN delay.
 func microConfig(p, c int) Config {
-	cfg := DefaultConfig(p, c)
-	cfg.Delay = 0
-	cfg.Disabled = false
-	return cfg
+	return NewConfig(p, c, WithInterSSMPDelay(0), WithDisabled(false))
 }
 
 // MeasureMicro reproduces Table 3 on the current cost calibration.
 func MeasureMicro() Micro {
-	cfg := DefaultConfig(2, 1)
+	cfg := NewConfig(2, 1)
 	mi := Micro{
 		CacheLocal:  cfg.Cache.Local,
 		CacheRemote: cfg.Cache.Remote,

@@ -32,6 +32,7 @@ var deterministicPkgs = map[string]bool{
 	"cache": true,
 	"fault": true,
 	"obs":   true, // sinks fire from engine context; see internal/obs
+	"check": true, // spec Feed and Chooser.Choose fire from engine context
 }
 
 // canonicalPath strips go vet's test-variant suffix: the package

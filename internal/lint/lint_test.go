@@ -9,7 +9,7 @@ import (
 
 func TestNoWallTime(t *testing.T) {
 	analysistest.Run(t, "testdata/nowalltime", lint.NoWallTime,
-		"mgs/internal/vm", "mgs/internal/stats", "mgs/internal/fault")
+		"mgs/internal/vm", "mgs/internal/stats", "mgs/internal/fault", "mgs/internal/check")
 }
 
 func TestNoGoroutine(t *testing.T) {
@@ -19,7 +19,7 @@ func TestNoGoroutine(t *testing.T) {
 
 func TestMapRange(t *testing.T) {
 	analysistest.Run(t, "testdata/maprange", lint.MapRange,
-		"mgs/internal/cache")
+		"mgs/internal/cache", "mgs/internal/check")
 }
 
 func TestChargeCost(t *testing.T) {

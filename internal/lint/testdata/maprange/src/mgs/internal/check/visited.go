@@ -1,0 +1,49 @@
+// Package check mirrors the real internal/check for the maprange
+// fixture: the explorer's visited set and the spec's bookkeeping are
+// maps, and any iteration order that leaks into a state hash or a
+// choice makes exploration non-deterministic.
+package check
+
+import "sort"
+
+func hash(uint64) {}
+
+// HashVisited leaks map order straight into a rolling hash.
+func HashVisited(visited map[uint64]bool) {
+	for k := range visited { // want `range over map in deterministic package`
+		hash(k)
+	}
+}
+
+// CanonicalHash is the sanctioned idiom: collect, sort, then fold — the
+// hash sees one canonical order no matter how the map iterates.
+func CanonicalHash(visited map[uint64]bool) {
+	var keys []uint64
+	for k := range visited {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		hash(k)
+	}
+}
+
+// CountVisited is commutative: no order can be observed.
+func CountVisited(visited map[uint64]bool) int {
+	n := 0
+	for _, seen := range visited {
+		if seen {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstPending picks an arbitrary element — exactly the bug a chooser
+// must never have.
+func FirstPending(pending map[uint64]bool) uint64 {
+	for k := range pending { // want `range over map in deterministic package`
+		return k
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+// Package check mirrors the real internal/check for the nowalltime
+// fixture: the spec's Feed and the explorer's Chooser.Choose execute in
+// engine context, so counterexample traces must be functions of the
+// choice sequence alone — a host-clock stamp or a global rand draw
+// would make two replays of one trace differ.
+package check
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Trace is a replayable counterexample: the choice indices are the
+// whole schedule.
+type Trace struct {
+	Choices []int
+	Stamp   int64
+}
+
+// Record is the legitimate construction: the trace carries only the
+// deterministic choice sequence (any wall-clock stamp is added by the
+// host-side CLI after the run, never on the simulated path).
+func Record(choices []int) Trace {
+	return Trace{Choices: append([]int(nil), choices...)}
+}
+
+// StampNow shows the forbidden construction: stamping a trace from the
+// host clock on the simulated path makes replays non-reproducible.
+func StampNow(choices []int) Trace {
+	return Trace{
+		Choices: choices,
+		Stamp:   time.Now().UnixNano(), // want `time\.Now reads the host clock`
+	}
+}
+
+// RandomChoice shows the other forbidden construction: a chooser that
+// draws from the process-global source explores a different schedule
+// every run, so no counterexample it finds can be replayed.
+func RandomChoice(fanout int) int {
+	return rand.Intn(fanout) // want `global rand\.Intn draws from the process-wide source`
+}
+
+// SeededChoice is the acceptable randomized form: the stream derives
+// from an explicit seed recorded in the trace.
+func SeededChoice(seed int64, fanout int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(fanout)
+}

@@ -203,6 +203,17 @@ func (n *Network) Latency(from, to, bytes int) sim.Time {
 // occupancy via debt; callers that want the sender's clock to reflect
 // the send should also advance it by SendCost.
 func (n *Network) Send(from, to int, when sim.Time, bytes int, extra sim.Time, fn func(done sim.Time)) {
+	n.SendTagged(sim.Label{}, from, to, when, bytes, extra, fn)
+}
+
+// SendTagged is Send with a choice label: while a sim.Chooser is armed
+// on the engine (model checking), the delivery becomes a choice point
+// the checker can reorder against other labeled deliveries. On every
+// normal run — no chooser — AtChoice degrades to At and the schedule is
+// identical to Send's. Fault-injected messages stay unlabeled: the
+// reliable transport's retransmission timing is outside the checker's
+// interleaving model (the checker never arms a fault plan).
+func (n *Network) SendTagged(l sim.Label, from, to int, when sim.Time, bytes int, extra sim.Time, fn func(done sim.Time)) {
 	inter := n.SSMPOf(from) != n.SSMPOf(to)
 	if inter {
 		n.Counters.InterMsgs++
@@ -224,7 +235,10 @@ func (n *Network) Send(from, to int, when sim.Time, bytes int, extra sim.Time, f
 	} else {
 		arrive = when + n.costs.SendOverhead + n.Latency(from, to, bytes) + n.jitter()
 	}
-	n.eng.At(arrive, func() {
+	n.eng.AtChoice(arrive, l, func() {
+		// arrive names the scheduled delivery time; a chooser may run
+		// this event later, but handler occupancy (HandlerStart) and the
+		// engine's At clamp keep every derived time monotone.
 		cost := n.costs.HandlerEntry + extra
 		start := n.procs[to].HandlerStart(arrive, cost)
 		n.chargeHandler(to, cost)

@@ -72,6 +72,12 @@ type Event struct {
 	// Dur, when positive, makes the event a span of that many cycles
 	// starting at T (rendered as a complete event in Chrome traces).
 	Dur sim.Time
+	// Args carries up to three event-specific integer arguments (a write
+	// flag, a directory mask, a reply kind ...) for machine consumers —
+	// the model checker's refinement spec reads protocol facts here
+	// instead of parsing Detail. Text renderings ignore Args; the same
+	// facts appear human-readably in Detail.
+	Args [3]int64
 	// Detail is preformatted human-readable context.
 	Detail string
 }

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventQueueRemoveAtPreservesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var q eventQueue
+		n := 1 + rng.Intn(30)
+		var want []event
+		for i := 0; i < n; i++ {
+			e := event{t: Time(rng.Intn(10)), seq: uint64(i)}
+			q.Push(e)
+			want = append(want, e)
+		}
+		// Remove a few arbitrary positions, tracking what should remain.
+		for k := 0; k < 3 && q.Len() > 0; k++ {
+			i := rng.Intn(q.Len())
+			victim := q.ev[i]
+			got := q.removeAt(i)
+			if got.t != victim.t || got.seq != victim.seq {
+				t.Fatalf("removeAt(%d) returned (t=%d seq=%d), want (t=%d seq=%d)",
+					i, got.t, got.seq, victim.t, victim.seq)
+			}
+			for j, w := range want {
+				if w.seq == victim.seq {
+					want = append(want[:j], want[j+1:]...)
+					break
+				}
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].t != want[b].t {
+				return want[a].t < want[b].t
+			}
+			return want[a].seq < want[b].seq
+		})
+		for i := 0; q.Len() > 0; i++ {
+			got := q.Pop()
+			if got.t != want[i].t || got.seq != want[i].seq {
+				t.Fatalf("trial %d pop %d: got (t=%d seq=%d), want (t=%d seq=%d)",
+					trial, i, got.t, got.seq, want[i].t, want[i].seq)
+			}
+		}
+	}
+}
+
+// pickLast always dispatches the latest ready labeled event — the most
+// aggressive reordering a Chooser can ask for.
+type pickLast struct{ picked []Label }
+
+func (c *pickLast) Choose(now Time, ready []Choice) int {
+	c.picked = append(c.picked, ready[len(ready)-1].Label)
+	return len(ready) - 1
+}
+
+func TestChooserReordersLabeledEventsOnly(t *testing.T) {
+	e := NewEngine()
+	ch := &pickLast{}
+	e.SetChooser(ch)
+	var order []string
+	rec := func(name string) func() { return func() { order = append(order, name) } }
+	e.AtChoice(10, Label{Kind: "A"}, rec("A"))
+	e.AtChoice(20, Label{Kind: "B"}, rec("B"))
+	e.AtChoice(30, Label{Kind: "C"}, rec("C"))
+	e.At(5, rec("plain5"))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"plain5", "C", "B", "A"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %d, want 30 (monotone clamp)", e.Now())
+	}
+}
+
+func TestDefaultChooserMatchesNilChooser(t *testing.T) {
+	run := func(c Chooser) (order []string, final Time) {
+		e := NewEngine()
+		if c != nil {
+			e.SetChooser(c)
+		}
+		rec := func(name string) func() { return func() { order = append(order, name) } }
+		e.AtChoice(10, Label{Kind: "A"}, rec("A"))
+		e.AtChoice(10, Label{Kind: "B"}, rec("B"))
+		e.At(10, rec("plain"))
+		e.AtChoice(3, Label{Kind: "C"}, rec("C"))
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order, e.Now()
+	}
+	a, at := run(nil)
+	b, bt := run(DefaultChooser{})
+	if len(a) != len(b) || at != bt {
+		t.Fatalf("nil=%v@%d default=%v@%d", a, at, b, bt)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge: nil=%v default=%v", a, b)
+		}
+	}
+}

@@ -44,6 +44,13 @@ type Engine struct {
 	procs   []*Proc
 	stopped bool
 	stopErr error
+
+	// chooser, when non-nil, arbitrates ready labeled events (model
+	// checking; see chooser.go). choiceIdx/choiceBuf are its reusable
+	// scratch buffers.
+	chooser   Chooser
+	choiceIdx []int
+	choiceBuf []Choice
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -86,8 +93,13 @@ func (e *Engine) Stop(err error) {
 // listing the stuck processors.
 func (e *Engine) Run() error {
 	for e.queue.Len() > 0 && !e.stopped {
-		ev := e.queue.Pop()
-		e.now = ev.t
+		ev := e.next()
+		// A chooser may dispatch a later-scheduled delivery ahead of an
+		// earlier one; virtual time stays monotone (the clamp is a no-op
+		// on the nil-chooser path, where ev is always the heap minimum).
+		if ev.t > e.now {
+			e.now = ev.t
+		}
 		e.dispatched++
 		ev.fn()
 	}

@@ -1,11 +1,14 @@
 package sim
 
 // event is a scheduled callback. Events with equal times fire in
-// insertion order (seq), which makes runs fully deterministic.
+// insertion order (seq), which makes runs fully deterministic. label is
+// nil except for choice points scheduled through AtChoice while a
+// Chooser is installed — a pointer so the hot-path struct stays small.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t     Time
+	seq   uint64
+	fn    func()
+	label *Label
 }
 
 // eventQueue is a binary min-heap ordered by (t, seq). It is hand-rolled
@@ -19,15 +22,7 @@ func (q *eventQueue) Len() int { return len(q.ev) }
 
 func (q *eventQueue) Push(e event) {
 	q.ev = append(q.ev, e)
-	i := len(q.ev) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
-		i = parent
-	}
+	q.siftUp(len(q.ev) - 1)
 }
 
 func (q *eventQueue) Pop() event {
@@ -54,8 +49,9 @@ func (q *eventQueue) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) siftDown(i int) {
+func (q *eventQueue) siftDown(i int) bool {
 	n := len(q.ev)
+	moved := false
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -66,9 +62,37 @@ func (q *eventQueue) siftDown(i int) {
 			smallest = r
 		}
 		if smallest == i {
-			return
+			return moved
 		}
 		q.ev[i], q.ev[smallest] = q.ev[smallest], q.ev[i]
 		i = smallest
+		moved = true
 	}
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+// removeAt extracts the event at heap position i, restoring heap order.
+// Used only by the chooser path; Pop remains the hot-path extraction.
+func (q *eventQueue) removeAt(i int) event {
+	out := q.ev[i]
+	n := len(q.ev) - 1
+	q.ev[i] = q.ev[n]
+	q.ev[n] = event{} // clear so dispatched closures become collectable
+	q.ev = q.ev[:n]
+	if i < n {
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	}
+	return out
 }
