@@ -11,7 +11,10 @@
 // The microbenchmarks cover the software-TLB lookup, the twin/diff
 // kernel, event dispatch, and the end-to-end shared-memory access fast
 // path. The sweep section times one figure sweep sequentially and with
-// the parallel runner; on a single-core host the two coincide.
+// the parallel runner; on a single-core host the two coincide. The
+// engine section times one simulation under the sharded event
+// dispatcher at -engine-workers 1, 2, 4, and 8, verifying that the
+// simulated cycle count is identical at every setting.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -50,10 +54,33 @@ type SweepResult struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// EnginePoint times one simulation under the sharded event dispatcher
+// at a given worker count. Speedup is relative to the workers=1 run of
+// the same curve; the simulated cycle count is identical at every
+// worker count (main aborts if not).
+type EnginePoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
+}
+
+// EngineResult is the engine-parallelism speedup curve: one simulation
+// (not a sweep) repeated at increasing -engine-workers settings.
+type EngineResult struct {
+	App        string        `json:"app"`
+	P          int           `json:"p"`
+	C          int           `json:"c"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Note       string        `json:"note"`
+	Points     []EnginePoint `json:"points"`
+}
+
 // Report is the file schema of BENCH_sim.json.
 type Report struct {
 	Benchmarks []BenchResult `json:"benchmarks"`
 	Sweep      SweepResult   `json:"sweep"`
+	Engine     EngineResult  `json:"engine"`
 }
 
 func bench(name string, fn func(b *testing.B)) BenchResult {
@@ -83,12 +110,19 @@ func diffPage(changed func(i int) bool) (twin, cur []byte) {
 
 var diffSink core.Diff
 
+// benchDiff measures the steady-state diff path: a warmed DiffBuf, as
+// the protocol's pooled release rounds use it. main refuses to write a
+// report where these allocate — zero allocs per op is a contract, not
+// an observation.
 func benchDiff(changed func(i int) bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		twin, cur := diffPage(changed)
+		var buf core.DiffBuf
+		buf.Compute(twin, cur)
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			diffSink = core.ComputeDiff(twin, cur)
+			diffSink = buf.Compute(twin, cur)
 		}
 	}
 }
@@ -186,6 +220,50 @@ func timeSweep(app string, p int, mk func(string) harness.App, w int) (float64, 
 	return time.Since(start).Seconds(), sum, nil
 }
 
+// engineCurve runs one simulation repeatedly under increasing engine
+// worker counts, timing each run and checking that the simulated cycle
+// count never moves — the dispatcher's bit-identity contract, measured
+// rather than assumed.
+func engineCurve(app string, p int, mk func(string) harness.App, counts []int) (EngineResult, error) {
+	// Four processors per SSMP gives p/4 shards for the dispatcher to
+	// spread across workers; machines too small for that shape run with
+	// single-processor SSMPs instead.
+	c := 4
+	if p < 8 || p%4 != 0 {
+		c = 1
+	}
+	res := EngineResult{
+		App: app, P: p, C: c,
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "speedup is wall-clock relative to workers=1; simulated cycles are bit-identical at every worker count",
+	}
+	if max := counts[len(counts)-1]; res.NumCPU < max {
+		res.Note += fmt.Sprintf("; host has %d CPU(s), so worker counts beyond that time-slice cores and measure dispatcher overhead, not parallel capacity", res.NumCPU)
+	}
+	var refCycles sim.Time
+	for i, w := range counts {
+		cfg := exp.Config(p, c, harness.WithEngineWorkers(w))
+		start := time.Now()
+		r, err := harness.RunApp(mk(app), cfg)
+		if err != nil {
+			return res, fmt.Errorf("engine curve workers=%d: %w", w, err)
+		}
+		secs := time.Since(start).Seconds()
+		if i == 0 {
+			refCycles = r.Cycles
+		} else if r.Cycles != refCycles {
+			return res, fmt.Errorf("engine curve diverged: workers=%d ran %d cycles, workers=%d ran %d",
+				counts[0], refCycles, w, r.Cycles)
+		}
+		pt := EnginePoint{Workers: w, Seconds: secs, Speedup: 1}
+		if i > 0 {
+			pt.Speedup = res.Points[0].Seconds / secs
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
 func main() {
 	t := cli.New("mgs-bench").MachineFlags("water", 32, 0, false)
 	out := flag.String("out", "BENCH_sim.json", "output file")
@@ -209,6 +287,9 @@ func main() {
 	for _, b := range rep.Benchmarks {
 		fmt.Printf("  %-20s %10.2f ns/op %6d B/op %4d allocs/op\n",
 			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		if strings.HasPrefix(b.Name, "ComputeDiff") && b.AllocsPerOp != 0 {
+			log.Fatalf("%s allocated %d times per op; the buffered diff path must be allocation-free", b.Name, b.AllocsPerOp)
+		}
 	}
 
 	seqS, seqSum, err := timeSweep(t.App, t.P, mk, 1)
@@ -228,6 +309,17 @@ func main() {
 	}
 	fmt.Printf("  sweep %s P=%d: seq %.2fs, par %.2fs (%.2fx, GOMAXPROCS=%d)\n",
 		t.App, t.P, seqS, parS, seqS/parS, rep.Sweep.GoMaxProcs)
+
+	eng, err := engineCurve(t.App, t.P, mk, []int{1, 2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Engine = eng
+	fmt.Printf("  engine %s P=%d C=%d (NumCPU=%d):", eng.App, eng.P, eng.C, eng.NumCPU)
+	for _, pt := range eng.Points {
+		fmt.Printf("  w=%d %.2fs (%.2fx)", pt.Workers, pt.Seconds, pt.Speedup)
+	}
+	fmt.Println()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// keyPaths flattens a decoded JSON value into its set of key paths
+// (arrays contribute their element shape once), the structural schema
+// of the document.
+func keyPaths(v any, prefix string, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			keyPaths(child, prefix+"."+k, out)
+		}
+	case []any:
+		if len(x) == 0 {
+			out[prefix+"[]"] = true
+			return
+		}
+		keyPaths(x[0], prefix+"[]", out)
+	default:
+		out[prefix] = true
+	}
+}
+
+func sortedPaths(data []byte, t *testing.T) []string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]bool{}
+	keyPaths(v, "", m)
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestCommittedReportSchema guards the committed BENCH_sim.json against
+// schema drift in either direction: the file must decode into Report
+// with no unknown fields (the file is not ahead of the code), and
+// re-encoding the decoded report must produce the same key paths (the
+// file is not behind the code — a new Report field fails here until the
+// file is regenerated).
+func TestCommittedReportSchema(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_sim.json does not match the Report schema: %v", err)
+	}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := sortedPaths(raw, t), sortedPaths(enc, t)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BENCH_sim.json schema drifted from the Report type:\nfile: %v\ncode: %v\nregenerate with: go run ./cmd/mgs-bench", got, want)
+	}
+}
+
+// TestCommittedReportContents pins the parts of the committed report
+// downstream tracking keys on: the benchmark suite and the engine
+// speedup curve's worker counts.
+func TestCommittedReportContents(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	wantBench := []string{
+		"TLBLookup", "ComputeDiffClean", "ComputeDiffSparse",
+		"ComputeDiffDense", "EngineDispatch", "AccessFastPath",
+	}
+	var names []string
+	for _, b := range rep.Benchmarks {
+		names = append(names, b.Name)
+		if b.Name == "ComputeDiffClean" || b.Name == "ComputeDiffSparse" || b.Name == "ComputeDiffDense" {
+			if b.AllocsPerOp != 0 {
+				t.Errorf("%s: committed report records %d allocs/op; the buffered diff path must be allocation-free", b.Name, b.AllocsPerOp)
+			}
+		}
+	}
+	if !reflect.DeepEqual(names, wantBench) {
+		t.Errorf("benchmark suite drifted: %v, want %v", names, wantBench)
+	}
+	var workers []int
+	for _, pt := range rep.Engine.Points {
+		workers = append(workers, pt.Workers)
+	}
+	if !reflect.DeepEqual(workers, []int{1, 2, 4, 8}) {
+		t.Errorf("engine curve worker counts drifted: %v, want [1 2 4 8]", workers)
+	}
+	if rep.Engine.NumCPU < 1 || rep.Engine.Note == "" {
+		t.Error("engine curve must record its host context (num_cpu, note)")
+	}
+}

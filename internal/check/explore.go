@@ -373,7 +373,7 @@ func stateHash(snaps []core.PageSnap, ip []int64, ready []sim.Choice) uint64 {
 		u(uint64(int64(sn.KeepWriter)))
 		b(sn.SawDiff)
 		b(sn.HomeDirty)
-		u(sn.Captured)
+		u(uint64(sn.Round))
 		u(uint64(sn.InvQueued))
 		u(uint64(sn.PendRel))
 		u(uint64(sn.PendReq))
@@ -386,6 +386,8 @@ func stateHash(snaps []core.PageSnap, ip []int64, ready []sim.Choice) uint64 {
 			u(cs.TLBDir)
 			u(uint64(int64(cs.OwnerProc)))
 			u(uint64(cs.Gen))
+			u(uint64(cs.HomeGen))
+			u(uint64(cs.CapRound))
 			u(uint64(cs.InvCount))
 			b(cs.LockHeld)
 			u(uint64(cs.LockWaiters))

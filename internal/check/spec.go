@@ -28,8 +28,9 @@ type Spec struct {
 
 // specClient is one SSMP's abstract client state for a page.
 type specClient struct {
-	state core.PageState
-	gen   int64 // incarnation: bumped at every copy teardown
+	state    core.PageState
+	gen      int64 // incarnation: bumped at every copy teardown
+	homeGens int64 // teardowns the Server has been told of (INVREPLY torn=1)
 }
 
 // specPage is the abstract Server state for a page plus all client
@@ -168,10 +169,12 @@ func (s *Spec) Feed(e obs.Event) {
 
 	case "WNOTIFY":
 		// Write notification at the Server (arc 18). The notification
-		// names a copy incarnation; the spec recomputes staleness from
-		// its own incarnation counter and the client's current state,
-		// and the implementation's verdict (Args[0]) must agree. A
-		// fresh notification moves the SSMP from read_dir to write_dir.
+		// names a copy incarnation; the Server judges it against its own
+		// record of that SSMP's completed teardowns (it cannot read the
+		// remote copy), so the spec keeps the same count (homeGens,
+		// advanced by INVREPLY below) and the implementation's verdict
+		// (Args[0]) must agree with it. A fresh notification moves the
+		// SSMP from read_dir to write_dir.
 		p := s.page(e)
 		if p == nil {
 			return
@@ -181,17 +184,37 @@ func (s *Spec) Feed(e obs.Event) {
 			return
 		}
 		stale := int64(0)
-		if cl.gen != e.Args[2] || cl.state != core.PWrite {
+		if cl.homeGens != e.Args[2] {
 			stale = 1
 		}
 		if stale != e.Args[0] {
-			s.fail(e, "implementation says stale=%d, spec says stale=%d (gen %d vs notify gen %d, state %v)",
-				e.Args[0], stale, cl.gen, e.Args[2], cl.state)
+			s.fail(e, "implementation says stale=%d, spec says stale=%d (home gens %d vs notify gen %d, state %v)",
+				e.Args[0], stale, cl.homeGens, e.Args[2], cl.state)
 			return
 		}
 		if stale == 0 {
 			p.readDir &^= 1 << uint(e.Args[1])
 			p.writeDir |= 1 << uint(e.Args[1])
+		}
+
+	case "INVREPLY":
+		// ACK/DIFF/1WDATA arrival at the Server (arcs 22–23). A reply
+		// carrying a teardown (Args[2]) retires one incarnation of that
+		// SSMP's copy in the Server's ledger; the teardown itself
+		// (cl.gen, FINISHINV) necessarily happened first.
+		p := s.page(e)
+		if p == nil {
+			return
+		}
+		cl := s.client(e, p, e.Args[1])
+		if cl == nil {
+			return
+		}
+		if e.Args[2] != 0 {
+			cl.homeGens++
+			if cl.homeGens > cl.gen {
+				s.fail(e, "home counted %d teardowns but only %d happened", cl.homeGens, cl.gen)
+			}
 		}
 
 	case "SERVE":
@@ -237,6 +260,13 @@ func (s *Spec) Feed(e obs.Event) {
 		case core.RelPended, core.RelRequeued, core.RelRequeuedHome:
 			if !p.inRound {
 				s.fail(e, "release queued behind a round that is not open")
+			}
+		case core.RelSatisfied:
+			// The releaser's copy was captured by a round that has since
+			// completed; satisfied with no new round. Must not fire while
+			// a round is open (those RELs pend or requeue instead).
+			if p.inRound {
+				s.fail(e, "satisfied release during an open round")
 			}
 		}
 
@@ -333,6 +363,10 @@ func (s *Spec) Compare(snaps []core.PageSnap) error {
 			if cs.Gen != cl.gen {
 				return fmt.Errorf("spec divergence: page %d ssmp %d incarnation %d, spec %d",
 					sn.Page, cs.SSMP, cs.Gen, cl.gen)
+			}
+			if cs.HomeGen != cl.homeGens {
+				return fmt.Errorf("spec divergence: page %d ssmp %d home gens %d, spec %d",
+					sn.Page, cs.SSMP, cs.HomeGen, cl.homeGens)
 			}
 		}
 	}

@@ -13,6 +13,7 @@ import (
 
 	"mgs/internal/harness"
 	"mgs/internal/obs"
+	"mgs/internal/sim"
 	"mgs/internal/vm"
 )
 
@@ -49,8 +50,9 @@ type Workload struct {
 	P, C     int
 	Pages    int
 	PageSize int
-	Home     []int  // home processor of each page
-	Script   [][]Op // per-processor op sequences
+	Delay    sim.Time // inter-SSMP latency override (0 = harness default)
+	Home     []int    // home processor of each page
+	Script   [][]Op   // per-processor op sequences
 }
 
 // WriteVal is the sentinel op (proc, index) writes: unique per op, so a
@@ -77,11 +79,17 @@ func Workloads() []Workload {
 		{
 			// Proc 0 reads then upgrades a page homed at proc 1 while
 			// proc 1 writes and releases: the WNOTIFY from the upgrade
-			// can be delayed past the release round that captures the
-			// copy — the stale-notification window the incarnation check
-			// in core guards (and Costs.MutStaleWNotify re-opens).
+			// can be delayed past the round's teardown reply for the same
+			// copy — the stale-notification window the home's teardown
+			// ledger guards (and Costs.MutStaleWNotify re-opens). The wide
+			// LAN delay keeps the intra-SSMP capture chain shorter than a
+			// message flight, so the teardown reply can be in the air
+			// while the notification still is (with the default delay,
+			// handler occupancy alone outlasts the flight window and the
+			// race becomes unreachable).
 			Name: "upgrade-race", P: 2, C: 1, Pages: 1, PageSize: 256,
-			Home: []int{1},
+			Delay: 20000,
+			Home:  []int{1},
 			Script: [][]Op{
 				{r(0, 1), w(0, 0), f},
 				{w(0, 1), f, r(0, 0)},
@@ -213,9 +221,14 @@ func (w Workload) newMachine(sp *Spec, extra obs.Sink, mutate bool) (*harness.Ma
 	if extra != nil {
 		o.AddSink(extra)
 	}
-	cfg := harness.NewConfig(w.P, w.C,
+	opts := []harness.Option{
 		harness.WithPageSize(w.PageSize),
-		harness.WithObserver(o))
+		harness.WithObserver(o),
+	}
+	if w.Delay > 0 {
+		opts = append(opts, harness.WithInterSSMPDelay(w.Delay))
+	}
+	cfg := harness.NewConfig(w.P, w.C, opts...)
 	cfg.Protocol.MutStaleWNotify = mutate
 	m := harness.NewMachine(cfg)
 	base := m.AllocHomed(w.Pages*w.PageSize, func(pg int) int { return w.Home[pg] })

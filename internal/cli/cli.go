@@ -28,10 +28,14 @@ type Tool struct {
 	Small bool
 	// Workers is the -workers concurrency for sweep-style tools.
 	Workers int
+	// EngineWorkers is the -engine-workers shard count for the
+	// parallel event dispatcher inside each simulation.
+	EngineWorkers int
 	// CSV selects machine-readable output (-csv).
 	CSV bool
 
-	hasWorkers bool
+	hasWorkers       bool
+	hasEngineWorkers bool
 }
 
 // New configures the standard tool logging — bare messages prefixed
@@ -58,6 +62,9 @@ func (t *Tool) ShapeFlags(pDef, cDef int, smallDef bool) *Tool {
 		flag.IntVar(&t.C, "c", cDef, "processors per SSMP (cluster size)")
 	}
 	flag.BoolVar(&t.Small, "small", smallDef, "use reduced problem sizes")
+	flag.IntVar(&t.EngineWorkers, "engine-workers", 0,
+		"event-dispatch shards per simulation (<=1 = sequential engine; results are bit-identical at any setting)")
+	t.hasEngineWorkers = true
 	return t
 }
 
@@ -71,11 +78,14 @@ func (t *Tool) SweepFlags() *Tool {
 }
 
 // Parse parses the process flags and applies the post-parse side
-// effects (the sweep worker count).
+// effects (the sweep and engine worker counts).
 func (t *Tool) Parse() *Tool {
 	flag.Parse()
 	if t.hasWorkers {
 		harness.SweepWorkers = t.Workers
+	}
+	if t.hasEngineWorkers {
+		harness.EngineWorkers = t.EngineWorkers
 	}
 	return t
 }

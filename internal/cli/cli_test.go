@@ -11,9 +11,9 @@ import (
 // withArgs runs fn with a fresh flag set and the given command line.
 func withArgs(t *testing.T, args []string, fn func()) {
 	t.Helper()
-	oldFS, oldArgs, oldWorkers := flag.CommandLine, os.Args, harness.SweepWorkers
+	oldFS, oldArgs, oldWorkers, oldEngine := flag.CommandLine, os.Args, harness.SweepWorkers, harness.EngineWorkers
 	defer func() {
-		flag.CommandLine, os.Args, harness.SweepWorkers = oldFS, oldArgs, oldWorkers
+		flag.CommandLine, os.Args, harness.SweepWorkers, harness.EngineWorkers = oldFS, oldArgs, oldWorkers, oldEngine
 	}()
 	flag.CommandLine = flag.NewFlagSet("cli_test", flag.PanicOnError)
 	os.Args = append([]string{"cli_test"}, args...)
@@ -50,6 +50,23 @@ func TestParsedValuesFlow(t *testing.T) {
 		}
 		if cfg := tool.Config(harness.WithPageSize(2048)); cfg.PageSize != 2048 {
 			t.Fatalf("options not applied through Config: %+v", cfg)
+		}
+	})
+}
+
+func TestEngineWorkersFlows(t *testing.T) {
+	withArgs(t, []string{"-engine-workers", "4"}, func() {
+		tool := New("cli_test").MachineFlags("water", 8, 2, true).Parse()
+		if tool.EngineWorkers != 4 {
+			t.Fatalf("-engine-workers not parsed: %+v", tool)
+		}
+		if harness.EngineWorkers != 4 {
+			t.Fatalf("Parse did not set harness.EngineWorkers: %d", harness.EngineWorkers)
+		}
+		// The default flows through NewConfig, so every tool and sweep
+		// path inherits the flag without explicit plumbing.
+		if cfg := tool.Config(); cfg.EngineWorkers != 4 {
+			t.Fatalf("Config did not pick up the engine worker default: %+v", cfg)
 		}
 	})
 }

@@ -18,15 +18,29 @@ func diffPage(changed func(i int) bool) (twin, cur []byte) {
 	return twin, cur
 }
 
+// diffPatterns are the change shapes the diff benchmarks and the
+// zero-allocation test share.
+var diffPatterns = []struct {
+	name    string
+	changed func(i int) bool
+}{
+	{"Clean", func(i int) bool { return false }},
+	{"Sparse", func(i int) bool { return i%128 < 8 }},
+	{"Dense", func(i int) bool { return true }},
+	{"Alternating", func(i int) bool { return i%2 == 0 }},
+}
+
 func benchDiff(b *testing.B, changed func(i int) bool) {
 	b.Helper()
 	twin, cur := diffPage(changed)
+	var buf DiffBuf
+	buf.Compute(twin, cur) // grow to the high-water mark
 	b.ReportAllocs()
 	b.SetBytes(int64(len(cur)))
 	b.ResetTimer()
 	var n int
 	for i := 0; i < b.N; i++ {
-		d := ComputeDiff(twin, cur)
+		d := buf.Compute(twin, cur)
 		n += d.Len()
 	}
 	_ = n
@@ -35,23 +49,42 @@ func benchDiff(b *testing.B, changed func(i int) bool) {
 // BenchmarkComputeDiffClean scans a page with no changes — the dominant
 // case for read-mostly pages caught in a release round.
 func BenchmarkComputeDiffClean(b *testing.B) {
-	benchDiff(b, func(i int) bool { return false })
+	benchDiff(b, diffPatterns[0].changed)
 }
 
 // BenchmarkComputeDiffSparse scans a mostly-clean page: one 8-byte
 // write per 128-byte stretch (a typical false-sharing page).
 func BenchmarkComputeDiffSparse(b *testing.B) {
-	benchDiff(b, func(i int) bool { return i%128 < 8 })
+	benchDiff(b, diffPatterns[1].changed)
 }
 
 // BenchmarkComputeDiffDense scans a page where every word changed (a
 // fully rewritten page).
 func BenchmarkComputeDiffDense(b *testing.B) {
-	benchDiff(b, func(i int) bool { return true })
+	benchDiff(b, diffPatterns[2].changed)
 }
 
 // BenchmarkComputeDiffAlternating is the worst case for range
 // coalescing: every other byte changed, one range per changed byte.
 func BenchmarkComputeDiffAlternating(b *testing.B) {
-	benchDiff(b, func(i int) bool { return i%2 == 0 })
+	benchDiff(b, diffPatterns[3].changed)
+}
+
+// TestComputeDiffZeroAllocs pins the steady-state contract of the
+// buffered diff path: once a DiffBuf has grown to a workload's
+// high-water mark, recomputing any change pattern allocates nothing.
+// The protocol's release rounds (diffPool in system.go) rely on this —
+// a regression here turns every invalidation into garbage.
+func TestComputeDiffZeroAllocs(t *testing.T) {
+	for _, p := range diffPatterns {
+		twin, cur := diffPage(p.changed)
+		var buf DiffBuf
+		buf.Compute(twin, cur) // warm: grow ranges and payload slab
+		allocs := testing.AllocsPerRun(100, func() {
+			buf.Compute(twin, cur)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: DiffBuf.Compute allocated %.1f times per op, want 0", p.name, allocs)
+		}
+	}
 }

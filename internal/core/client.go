@@ -62,7 +62,9 @@ func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 		cp.tlbDir |= bit(s.within(p.ID))
 		if write {
 			ss.duqs[s.within(p.ID)].add(v)
-			if s.ssmpOf(s.server(v).homeProc) == cp.ssmp {
+			// Touch the Server record only when this SSMP is the home
+			// (home state is home-shard state under parallel dispatch).
+			if s.ssmpOf(s.space.HomeProc(v)) == cp.ssmp {
 				s.server(v).homeDirty = true
 			}
 		}
@@ -89,14 +91,16 @@ func (s *System) fault(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 		} else {
 			s.st.Count("rreq", 1)
 		}
-		sp := s.server(v)
+		home := s.space.HomeProc(v)
 		s.emitPageArgs(p.Clock(), p.ID, v, "REQSTART", [3]int64{b2i(write), 0, 0},
 			"proc %d write=%v", p.ID, write)
 		s.spend(p, stats.MGS, s.net.SendCost())
 		cpRef, w := cp, write
-		s.net.SendTagged(sim.Label{Kind: "REQ", Page: int64(v), Src: p.ID, Dst: sp.homeProc, Aux: b2i(write)},
-			p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.ReqWork,
-			func(at sim.Time) { s.onRequest(sp, cpRef, p, w, at) })
+		s.net.SendTagged(sim.Label{Kind: "REQ", Page: int64(v), Src: p.ID, Dst: home, Aux: b2i(write)},
+			p.ID, home, p.Clock(), c.CtrlBytes, c.ReqWork,
+			// The Server record is resolved inside the handler — on the
+			// home shard — not at send time on the faulting shard.
+			func(at sim.Time) { s.onRequest(s.server(v), cpRef, p, w, at) })
 		s.parkCharge(p, stats.MGS) // woken by the RDAT/WDAT handler
 
 	default:
@@ -145,13 +149,13 @@ func (s *System) newDir(cp *clientPage) *cache.Dir {
 func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 	c := &s.cfg.Costs
 	o := cp.ownerProc
+	homeProc := s.space.HomeProc(cp.page)
+	isHome := cp.ssmp == s.ssmpOf(homeProc)
 	s.emitEngine(at, -1, cp.page, "RCLIENT", 0, "owner %d for proc %d", o, requester.ID)
 	s.emitPageArgs(at, requester.ID, cp.page, "UPGRADE",
-		[3]int64{b2i(cp.state == PRead), int64(cp.ssmp), b2i(cp.ssmp == s.ssmpOf(s.server(cp.page).homeProc))},
+		[3]int64{b2i(cp.state == PRead), int64(cp.ssmp), b2i(isHome)},
 		"ssmp %d applied=%v", cp.ssmp, cp.state == PRead)
 	if cp.state == PRead {
-		sp := s.server(cp.page)
-		isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
 		if !isHome {
 			at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.TwinPerByte)
 			cp.twin = s.newTwin(cp.frame)
@@ -160,8 +164,9 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 		cp.state = PWrite
 		if isHome {
 			// The home SSMP writes the home frame in place; no twin,
-			// no WNOTIFY — only the retention veto.
-			sp.homeDirty = true
+			// no WNOTIFY — only the retention veto. (This runs on the
+			// home shard, so touching the Server record is fine.)
+			s.server(cp.page).homeDirty = true
 		} else {
 			// WNOTIFY to the Server (arc 18). The notification names a
 			// specific copy incarnation: if it arrives after a release
@@ -176,18 +181,37 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 			// write copy only forgoes the single-writer optimization (the
 			// round's DIFF reply still carries the data), while
 			// over-registering is unsound.
+			//
+			// Staleness is judged against home-side state: the Server
+			// counts the teardown replies it has received from each SSMP
+			// (rmt[].gens), and a notification naming incarnation g is
+			// current only while gens == g. The home may briefly judge a
+			// live copy stale (its teardown reply from the round that
+			// captured it still in flight ahead of this WNOTIFY) — then
+			// the copy is still registered in read_dir, the running
+			// round invalidates it anyway, and only the single-writer
+			// optimization is forgone. Under lazy release consistency
+			// teardowns never report home, so that mode keeps the
+			// incarnation check on the copy itself (sequential-only, so
+			// the cross-shard read is harmless there).
 			ssmp := cp.ssmp
 			gen := cp.gen
-			s.net.SendTagged(sim.Label{Kind: "WNOTIFY", Page: int64(cp.page), Src: o, Dst: sp.homeProc, Aux: gen},
-				o, sp.homeProc, at, c.CtrlBytes, 0, func(at2 sim.Time) {
-					stale := cp.gen != gen || cp.state != PWrite
+			s.net.SendTagged(sim.Label{Kind: "WNOTIFY", Page: int64(cp.page), Src: o, Dst: homeProc, Aux: gen},
+				o, homeProc, at, c.CtrlBytes, 0, func(at2 sim.Time) {
+					sp := s.server(cp.page)
+					var stale bool
+					if c.LazyRelease {
+						stale = cp.gen != gen || cp.state != PWrite
+					} else {
+						stale = sp.rmt[ssmp].gens != gen
+					}
 					// Costs.MutStaleWNotify (model-checker mutation test
 					// only) bypasses the staleness check, re-introducing
 					// the phantom write_dir bit this check exists to kill.
 					if stale && !s.cfg.Costs.MutStaleWNotify {
 						s.st.Count("wnotify.stale", 1)
 						s.emitPageArgs(at2, -1, sp.page, "WNOTIFY", [3]int64{1, int64(ssmp), gen},
-							"from ssmp %d STALE (gen %d != %d or state %v)", ssmp, gen, cp.gen, cp.state)
+							"from ssmp %d STALE (gen %d != home gens %d)", ssmp, gen, sp.rmt[ssmp].gens)
 						return
 					}
 					s.st.Count("wnotify", 1)

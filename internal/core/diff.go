@@ -49,23 +49,35 @@ const (
 	zhi = 0x8080808080808080
 )
 
-// ComputeDiff compares the current page contents against its twin and
-// returns the changed ranges (with the current values). Adjacent changed
-// bytes coalesce into one range.
+// DiffBuf is reusable storage for diff computation: the range headers
+// and the payload bytes of one diff at a time. A Diff returned by
+// Compute aliases the buffer, so the buffer must stay untouched until
+// the diff's last Apply; recycling it (diffPool in system.go) then
+// makes steady-state diffing allocation-free.
+type DiffBuf struct {
+	ranges []DiffRange
+	data   []byte
+}
+
+// Compute compares the current page contents against its twin and
+// returns the changed ranges (with the current values), overwriting
+// the buffer's previous contents. Adjacent changed bytes coalesce into
+// one range.
 //
 // The scan compares eight bytes at a time: equal stretches skip by
 // whole words, changed stretches extend by whole words while every byte
 // of the word differs, and only the boundary word of a run is examined
-// byte by byte. The range payloads are carved from one shared buffer —
-// one allocation per diff, not one per changed run. The ranges produced
-// are byte-identical to a plain byte-at-a-time scan, so message sizes
-// and protocol costs are unchanged.
-func ComputeDiff(twin, cur []byte) Diff {
+// byte by byte. The range payloads are carved from the buffer's single
+// payload slab — zero allocations once the buffer has grown to the
+// workload's high-water mark. The ranges produced are byte-identical
+// to a plain byte-at-a-time scan, so message sizes and protocol costs
+// are unchanged.
+func (b *DiffBuf) Compute(twin, cur []byte) Diff {
 	if len(twin) != len(cur) {
 		panic("core: twin/page size mismatch")
 	}
 	n := len(cur)
-	var d Diff
+	d := b.ranges[:0]
 	total := 0
 	i := 0
 	for i < n {
@@ -102,8 +114,12 @@ func ComputeDiff(twin, cur []byte) Diff {
 		total += j - i
 		i = j
 	}
+	b.ranges = d
 	if total > 0 {
-		buf := make([]byte, total)
+		if cap(b.data) < total {
+			b.data = make([]byte, total)
+		}
+		buf := b.data[:total]
 		pos := 0
 		for k := range d {
 			m := copy(buf[pos:pos+len(d[k].Data)], d[k].Data)
@@ -112,6 +128,14 @@ func ComputeDiff(twin, cur []byte) Diff {
 		}
 	}
 	return d
+}
+
+// ComputeDiff is Compute on a throwaway buffer: the returned Diff owns
+// its storage. Protocol paths use a pooled DiffBuf instead; this form
+// serves tests and callers that keep the diff.
+func ComputeDiff(twin, cur []byte) Diff {
+	var b DiffBuf
+	return b.Compute(twin, cur)
 }
 
 // Apply merges the diff into dst (the home copy).

@@ -187,8 +187,8 @@ func (s *System) AcquireSync(p *sim.Proc) {
 			// data lands) and re-check the served version.
 			pages = append(pages, v)
 		case PRead, PWrite:
-			sp, ok := s.servers[v]
-			if !ok || cp.ssmp == s.ssmpOf(sp.homeProc) || cp.version >= sp.version {
+			sp := s.serverIfExists(v)
+			if sp == nil || cp.ssmp == s.ssmpOf(sp.homeProc) || cp.version >= sp.version {
 				continue // home copies live in the home frame; fresh copies stay
 			}
 			pages = append(pages, v)
@@ -217,7 +217,10 @@ func (s *System) AcquireSync(p *sim.Proc) {
 			s.spend(p, stats.MGS, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
 			diff := ComputeDiff(cp.twin, cp.frame.Data)
 			s.shootLocal(ss, cp, p)
-			s.teardown(ss, cp, false)
+			// No CleanPage ran here: the frame may still have cached
+			// lines, so it must not be recycled (a recycled frame's ID
+			// reuse would let those lines alias the new page).
+			s.teardown(ss, cp, false, false)
 			s.emitPage(p.Clock(), p.ID, v, "ACQFLUSH", "proc %d diff=%d", p.ID, len(diff))
 			s.spend(p, stats.MGS, s.net.SendCost())
 			cp.relInFlight++
@@ -241,7 +244,7 @@ func (s *System) AcquireSync(p *sim.Proc) {
 		s.st.Count("acq.inval", 1)
 		s.emitPage(p.Clock(), p.ID, v, "ACQINVAL", "proc %d ver=%d<%d", p.ID, cp.version, sp.version)
 		s.shootLocal(ss, cp, p)
-		s.teardown(ss, cp, false)
+		s.teardown(ss, cp, false, false)
 		s.unlock(cp, p.Clock())
 	}
 }

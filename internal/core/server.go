@@ -9,13 +9,24 @@ import (
 	"mgs/internal/vm"
 )
 
+// Shard discipline. Under the parallel dispatcher (sim.Parallelize)
+// the handlers in this file execute concurrently on different SSMPs'
+// shards, so every handler may touch only the state of the shard it
+// runs on: Server records (serverPage) are home-shard state, client
+// records (clientPage) are their SSMP's state, and every cross-SSMP
+// fact travels inside a message — the requester's page record rides
+// the REQ, the capture round rides the REL, teardowns ride the
+// invalidation replies. Fields that are immutable while the parallel
+// dispatcher can be live (sp.page, sp.homeProc, cp.page, cp.ssmp) are
+// the only state read across shards.
+
 // onRequest is the Server's RREQ/WREQ handler (arcs 17–19, 22), running
 // on the page's home processor.
 func (s *System) onRequest(sp *serverPage, cp *clientPage, p *sim.Proc, write bool, at sim.Time) {
 	s.emitEngine(at, -1, sp.page, "SERVER", 0, "home %d for proc %d write=%v", sp.homeProc, p.ID, write)
 	if sp.state == sRel {
 		// Arc 22: queue behind the release in progress.
-		sp.pendReq = append(sp.pendReq, pendingReq{proc: p.ID, write: write})
+		sp.pendReq = append(sp.pendReq, pendingReq{proc: p.ID, write: write, cp: cp})
 		s.st.Count("req.pended", 1)
 		s.emitPageArgs(at, p.ID, sp.page, "REQ", [3]int64{b2i(write), int64(cp.ssmp), 0},
 			"from proc %d write=%v PENDED", p.ID, write)
@@ -32,6 +43,7 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 	r := cp.ssmp
 	homeSSMP := s.ssmpOf(sp.homeProc)
 	bytes := c.CtrlBytes
+	var img []byte
 	if r != homeSSMP {
 		if r == sp.lastReq {
 			sp.streak++
@@ -49,6 +61,16 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 		} else {
 			sp.readDir |= bit(r)
 			s.st.Count("rdat", 1)
+		}
+		// Record where the SSMP's Remote Client lives so invalidations
+		// can be addressed without reading the remote shard. The first
+		// serve's requester is the copy's permanent first-touch owner
+		// (PBusy plus the page-table lock admit one outstanding request
+		// per SSMP and page).
+		rc := &sp.rmt[r]
+		rc.cp = cp
+		if rc.owner < 0 {
+			rc.owner = int32(p.ID)
 		}
 		bytes += s.cfg.PageSize
 		if write {
@@ -76,31 +98,37 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 				at = s.net.Extend(sp.homeProc, at, sim.Time(n)*c.PinvWork)
 			}
 		}
+		// The DMA image is captured now, on the home shard: the copy
+		// reflects the home version as of SERVE time, and a merge that
+		// lands while the data is on the wire must leave it stale.
+		img = getPageBuf(s.cfg.PageSize)
+		copy(img, sp.frame.Data)
 	} else {
 		s.st.Count("rdat.home", 1)
 	}
 	s.emitPageArgs(at, p.ID, sp.page, "SERVE", [3]int64{b2i(write), int64(r), b2i(r == homeSSMP)},
 		"to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", p.ID, r, write, sp.readDir, sp.writeDir, sp.homeProc)
-	// The copy reflects the home version as of SERVE time: a merge that
-	// lands while the data is on the wire must leave the copy stale.
 	servedVer := sp.version
 	s.net.SendTagged(sim.Label{Kind: "DATA", Page: int64(sp.page), Src: sp.homeProc, Dst: p.ID, Aux: b2i(write)},
 		sp.homeProc, p.ID, at, bytes, 0, func(at2 sim.Time) {
-			s.onData(sp, cp, p, write, servedVer, at2)
+			s.onData(sp, cp, p, write, servedVer, img, at2)
 		})
 }
 
 // onData is the Local Client's RDAT/WDAT handler (arcs 6–7), running on
-// the faulting processor, which still holds the page-table lock.
-func (s *System) onData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool, servedVer int64, at sim.Time) {
+// the faulting processor, which still holds the page-table lock. img is
+// the serve-time snapshot of the home frame (nil for the home SSMP's
+// own requests, which map the home frame directly).
+func (s *System) onData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool, servedVer int64, img []byte, at sim.Time) {
 	c := &s.cfg.Costs
 	ss := s.ssmps[cp.ssmp]
 	isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
 	if isHome {
 		cp.frame = sp.frame
 	} else {
-		f := s.frames.Alloc()
-		f.CopyFrom(sp.frame.Data)
+		f := ss.frames.Alloc()
+		f.CopyFrom(img)
+		putPageBuf(img)
 		cp.frame = f
 	}
 	if cp.ownerProc < 0 {
@@ -143,6 +171,16 @@ func (s *System) onData(sp *serverPage, cp *clientPage, p *sim.Proc, write bool,
 // for the RACK before the next. msync calls this at every lock release
 // and barrier arrival; it is what makes the overall model eager release
 // consistency.
+//
+// Whether the release still has data to collect is judged at the home,
+// on REL arrival: the REL carries what the releaser knows shard-locally
+// — whether its SSMP's copy survives (cond=false) and which release
+// round last captured it (capRound) — and the Server combines that
+// with its own round state (onRel). The earlier design read the
+// Server's state from the releasing processor to skip satisfied
+// releases without a message; that read is impossible under the
+// parallel dispatcher, so a satisfied release now costs one REL/RACK
+// round trip instead of zero messages.
 func (s *System) ReleaseAll(p *sim.Proc) {
 	if s.cfg.Disabled {
 		return
@@ -166,26 +204,23 @@ func (s *System) ReleaseAll(p *sim.Proc) {
 		s.st.ProfSet(p.ID, obs.ObjPage, int64(v))
 		cp := ss.pages[v]
 		s.lockProc(cp, p, stats.MGS)
-		sp := s.server(v)
-		if cp.state != PWrite {
-			// Invalidated since we dirtied it: the data went home with
-			// that invalidation. If its round is still in flight the
-			// release must still synchronize with it (other copies are
-			// not consistent until the round completes); otherwise the
-			// release is already satisfied.
-			if sp.state != sRel {
-				s.emitPage(p.Clock(), p.ID, v, "RELSKIP", "proc %d state=%v", p.ID, cp.state)
-				s.unlock(cp, p.Clock())
-				continue
-			}
-			s.emitPage(p.Clock(), p.ID, v, "RELWAIT", "proc %d", p.ID)
+		// cond: the copy was invalidated since this processor dirtied
+		// it, so the data already went home with that capture. The
+		// release still synchronizes with the capturing round if it is
+		// in flight (other copies are not consistent until the round
+		// completes) — the home decides which case holds.
+		cond := cp.state != PWrite
+		capRound := cp.capturedRound
+		if cond {
+			s.emitPage(p.Clock(), p.ID, v, "RELCOND", "proc %d state=%v cap=%d", p.ID, cp.state, capRound)
 		}
 		s.st.Count("rel", 1)
 		s.spend(p, stats.MGS, s.net.SendCost())
 		relProc := p.ID
-		s.net.SendTagged(sim.Label{Kind: "REL", Page: int64(v), Src: p.ID, Dst: sp.homeProc},
-			p.ID, sp.homeProc, p.Clock(), c.CtrlBytes, c.RelWork,
-			func(at sim.Time) { s.onRel(sp, relProc, at) })
+		home := s.space.HomeProc(v)
+		s.net.SendTagged(sim.Label{Kind: "REL", Page: int64(v), Src: p.ID, Dst: home},
+			p.ID, home, p.Clock(), c.CtrlBytes, c.RelWork,
+			func(at sim.Time) { s.onRel(s.server(v), relProc, capRound, cond, at) })
 		// Deviation from Table 1 (which holds the lock to the RACK):
 		// the release round sends an INV back to this SSMP, and that
 		// handler takes this same lock — holding it here would
@@ -195,20 +230,25 @@ func (s *System) ReleaseAll(p *sim.Proc) {
 	}
 }
 
-// onRel is the Server's REL handler (arcs 20–22).
-func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
+// onRel is the Server's REL handler (arcs 20–22). cond reports that the
+// releaser's copy was already captured by some round; capRound is that
+// round's id (-1 for re-queued releases re-entering after a round).
+func (s *System) onRel(sp *serverPage, relProc int, capRound int64, cond bool, at sim.Time) {
 	if sp.state == sRel {
 		// Arc 22 folds a concurrent REL into the round in progress,
 		// assuming the round's invalidations collect the releaser's
-		// dirty data. That holds only while the releaser's SSMP has
-		// not been captured yet: a retained single-writer copy can be
-		// re-dirtied immediately after its capture (the refill is
-		// local), and folding such a REL in would acknowledge data the
-		// round never saw. Those releases re-run as a fresh round.
-		if sp.captured&bit(s.ssmpOf(relProc)) != 0 {
+		// dirty data. That fails only for a copy this same round has
+		// already captured and that was re-dirtied after the capture (a
+		// retained single-writer copy — the refill is local, so the
+		// re-dirty needs no round-blocked serve): folding such a REL in
+		// would acknowledge data the round never saw. Those releases
+		// re-run as a fresh round. A captured-and-torn-down copy
+		// (cond) cannot re-dirty mid-round — its refetch pends behind
+		// the round — so its data is covered and the REL folds in.
+		if !cond && capRound == sp.round {
 			sp.pendReRel = append(sp.pendReRel, relProc)
 			s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relRequeued, 0, 0},
-				"from proc %d REQUEUED (ssmp already captured)", relProc)
+				"from proc %d REQUEUED (copy captured round %d)", relProc, capRound)
 			return
 		}
 		if s.cfg.Costs.UpdateProtocol && sp.refreshDone && s.ssmpOf(relProc) == s.ssmpOf(sp.homeProc) {
@@ -225,6 +265,16 @@ func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
 			"from proc %d PENDED", relProc)
 		return
 	}
+	if cond {
+		// The capturing round has already completed: the releaser's
+		// data is merged and every copy served since reflects it. The
+		// release is satisfied with no new round.
+		s.st.Count("rel.sat", 1)
+		s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relSatisfied, 0, 0},
+			"from proc %d SATISFIED (captured round %d done)", relProc, capRound)
+		s.sendRack(sp, relProc, at)
+		return
+	}
 	targets := sp.readDir | sp.writeDir
 	if targets == 0 {
 		s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relNoTargets, 0, 0},
@@ -235,6 +285,7 @@ func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
 	s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relRound, int64(targets), int64(sp.writeDir)},
 		"from proc %d -> round targets=%b writeDir=%b", relProc, targets, sp.writeDir)
 	sp.state = sRel
+	sp.round++
 	sp.count = bits.OnesCount64(targets)
 	sp.pendRel = append(sp.pendRel, relProc)
 	sp.keepWriter = -1
@@ -259,30 +310,35 @@ func (s *System) onRel(sp *serverPage, relProc int, at sim.Time) {
 	}
 }
 
-// dispatchInv sends the INV/1WINV for the next queued target.
+// dispatchInv sends the INV/1WINV for the next queued target, addressed
+// with the home's own record of the copy (rmt) — the remote shard's
+// state is never read from here.
 func (s *System) dispatchInv(sp *serverPage, at sim.Time) {
 	t := sp.invQueue[0]
 	sp.invQueue = sp.invQueue[1:]
-	cp := s.ssmps[t.ssmp].pages[sp.page]
+	rc := &sp.rmt[t.ssmp]
+	cp, o := rc.cp, int(rc.owner)
 	oneW := t.oneW
-	s.net.SendTagged(sim.Label{Kind: "INV", Page: int64(sp.page), Src: sp.homeProc, Dst: s.clientOwner(cp), Aux: b2i(oneW)},
-		sp.homeProc, s.clientOwner(cp), at, s.cfg.Costs.CtrlBytes, 0,
-		func(at2 sim.Time) { s.onInv(sp, cp, oneW, at2) })
+	round := sp.round
+	s.net.SendTagged(sim.Label{Kind: "INV", Page: int64(sp.page), Src: sp.homeProc, Dst: o, Aux: b2i(oneW)},
+		sp.homeProc, o, at, s.cfg.Costs.CtrlBytes, 0,
+		func(at2 sim.Time) { s.onInv(sp, cp, oneW, round, at2) })
 }
 
 // onInv is the Remote Client's INV/1WINV handler (arcs 14–16), running
 // on the processor owning the SSMP's copy. It takes the page-table lock
 // (queuing if busy, per the paper's footnote 2), cleans the page, shoots
-// down TLB mappings, and replies ACK, DIFF, or 1WDATA.
-func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
+// down TLB mappings, and replies ACK, DIFF, or 1WDATA. round is the
+// capturing round's id, recorded on the copy for its next release.
+func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, round int64, at sim.Time) {
 	s.lockHandler(cp, at, func(at sim.Time) {
 		o := s.clientOwner(cp)
 		if cp.state != PWrite && cp.state != PRead {
 			// Copy already gone; acknowledge with nothing to merge.
-			sp.captured |= bit(cp.ssmp)
+			cp.capturedRound = round
 			s.emitPageArgs(at, -1, cp.page, "FINISHINV", [3]int64{finvGone, int64(cp.ssmp), 0},
 				"ssmp %d copy already gone (state=%v)", cp.ssmp, cp.state)
-			s.replyInv(sp, o, ackReply, nil, at)
+			s.replyInv(sp, o, ackReply, nil, nil, false, at)
 			s.unlock(cp, at)
 			return
 		}
@@ -293,7 +349,7 @@ func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
 		s.emitPageArgs(at, -1, cp.page, "INVSTART", [3]int64{int64(cp.ssmp), b2i(oneW), int64(cp.invCount)},
 			"ssmp %d tlbDir=%b state=%v oneW=%v", cp.ssmp, cp.tlbDir, cp.state, oneW)
 		if cp.invCount == 0 {
-			s.finishInv(sp, cp, at)
+			s.finishInv(sp, cp, round, at)
 			return
 		}
 		c := &s.cfg.Costs
@@ -312,7 +368,7 @@ func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
 							// PINV_ACK (arcs 15–16).
 							cp.invCount--
 							if cp.invCount == 0 {
-								s.finishInv(sp, cp, at3)
+								s.finishInv(sp, cp, round, at3)
 							}
 						})
 				})
@@ -324,9 +380,8 @@ func (s *System) onInv(sp *serverPage, cp *clientPage, oneW bool, at sim.Time) {
 func (s *System) ssmpBase(r int) int { return r * s.cfg.ClusterSize }
 
 // clientOwner returns the processor the SSMP's Remote Client runs on:
-// the copy's first-touch owner, or (when the copy is still in flight —
-// an INV can race an RDAT/WDAT) the SSMP's first processor; the handler
-// queues on the page-table lock either way.
+// the copy's first-touch owner, or (before any placement) the SSMP's
+// first processor. Shard-local — home-side code uses rmt instead.
 func (s *System) clientOwner(cp *clientPage) int {
 	if cp.ownerProc >= 0 {
 		return cp.ownerProc
@@ -344,8 +399,8 @@ func (s *System) clientOwner(cp *clientPage) int {
 // before the shootdown could lose a concurrent local write that the
 // paper's microsecond-scale window makes improbable but a simulator
 // makes routine.
-func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
-	sp.captured |= bit(cp.ssmp)
+func (s *System) finishInv(sp *serverPage, cp *clientPage, round int64, at sim.Time) {
+	cp.capturedRound = round
 	c := &s.cfg.Costs
 	o := s.clientOwner(cp)
 	ss := s.ssmps[cp.ssmp]
@@ -354,9 +409,9 @@ func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
 	// Deliberate deviation from Table 1's arc 12: delayed-update-queue
 	// entries are NOT removed by invalidations. A processor whose write
 	// was collected by this round still pops the page at its own
-	// release and, if the round is in flight, waits for it (RELWAIT) —
-	// otherwise its release could complete before the captured data
-	// reaches the home, and the next lock holder would read stale data.
+	// release and, if the round is in flight, waits for it — otherwise
+	// its release could complete before the captured data reaches the
+	// home, and the next lock holder would read stale data.
 
 	arm := finvAckTeardown
 	switch {
@@ -376,14 +431,16 @@ func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
 		// happened, so subsequent writes re-fault (cheap local fills)
 		// and re-enter the delayed update queues.
 		var d Diff
+		var db *DiffBuf
 		if cp.state == PWrite && !isHome {
 			at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
-			d = ComputeDiff(cp.twin, cp.frame.Data)
+			db = getDiffBuf()
+			d = db.Compute(cp.twin, cp.frame.Data)
 			s.retwin(cp)
 			s.st.Count("upd.diff", 1)
 		}
 		cp.tlbDir = 0
-		s.replyInv(sp, o, diffReply, d, at)
+		s.replyInv(sp, o, diffReply, d, db, false, at)
 		s.unlock(cp, at)
 		return
 	}
@@ -400,49 +457,59 @@ func (s *System) finishInv(sp *serverPage, cp *clientPage, at sim.Time) {
 		// whole-page copy would clobber.
 		at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.TwinPerByte)
 		var d Diff
+		var db *DiffBuf
 		if !isHome {
-			d = ComputeDiff(cp.twin, cp.frame.Data)
+			db = getDiffBuf()
+			d = db.Compute(cp.twin, cp.frame.Data)
 		}
 		s.retwin(cp)
 		cp.tlbDir = 0
 		s.st.Count("1wdata", 1)
-		s.replyInv(sp, o, oneWReply, d, at)
+		s.replyInv(sp, o, oneWReply, d, db, false, at)
 
 	case cp.state == PWrite:
 		at = s.net.Extend(o, at, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
 		var d Diff
+		var db *DiffBuf
 		if isHome {
 			// The home SSMP's writes are already in the home frame —
 			// no diff travels, but they count as foreign data for the
 			// retention decision below, exactly like a merged diff.
 			sp.sawDiff = true
 		} else {
-			d = ComputeDiff(cp.twin, cp.frame.Data)
+			db = getDiffBuf()
+			d = db.Compute(cp.twin, cp.frame.Data)
 		}
 		s.st.Count("diff", 1)
 		s.st.Count("diffbytes", int64(d.Bytes(0)))
-		s.teardown(ss, cp, isHome)
-		s.replyInv(sp, o, diffReply, d, at)
+		s.teardown(ss, cp, isHome, true)
+		s.replyInv(sp, o, diffReply, d, db, true, at)
 
 	default: // PRead
 		s.st.Count("ackinv", 1)
-		s.teardown(ss, cp, isHome)
-		s.replyInv(sp, o, ackReply, nil, at)
+		s.teardown(ss, cp, isHome, true)
+		s.replyInv(sp, o, ackReply, nil, nil, true, at)
 	}
 	s.unlock(cp, at)
 }
 
 // teardown frees the SSMP's copy of the page. The home SSMP's "copy" is
-// the home frame itself, which survives; only the mapping goes.
-func (s *System) teardown(ss *ssmpState, cp *clientPage, isHome bool) {
-	_ = isHome // the home frame itself survives in the serverPage
+// the home frame itself, which survives; only the mapping goes. recycle
+// returns a remote frame to the SSMP's allocator — only safe after a
+// CleanPage has purged every cached line of the frame (the eager
+// invalidation path does; the lazy acquire path does not and passes
+// false).
+func (s *System) teardown(ss *ssmpState, cp *clientPage, isHome, recycle bool) {
 	ss.domain.Unregister(cp.frame)
+	if recycle && !isHome {
+		ss.frames.Recycle(cp.frame)
+	}
 	cp.frame = nil
 	cp.dir = nil
 	s.recycleTwin(cp)
 	cp.tlbDir = 0
 	cp.state = PInv
-	cp.gen++ // a refetched copy is a new incarnation (lazy versioning)
+	cp.gen++ // a refetched copy is a new incarnation
 }
 
 // invReply is the kind of an invalidation reply.
@@ -455,8 +522,11 @@ const (
 )
 
 // replyInv sends the invalidation reply (ACK / DIFF / 1WDATA) to the
-// Server.
-func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at sim.Time) {
+// Server. tornDown reports that this reply retires a copy incarnation
+// (the Server counts them per SSMP for the WNOTIFY staleness check).
+// db, when non-nil, is the pooled buffer backing d; the Server recycles
+// it after the merge.
+func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, db *DiffBuf, tornDown bool, at sim.Time) {
 	c := &s.cfg.Costs
 	bytes := c.CtrlBytes
 	switch kind {
@@ -471,13 +541,13 @@ func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at si
 	// in the contents of an in-flight reply must not look identical to
 	// the model checker's pending-event hash. Never computed on normal
 	// runs (no chooser armed).
-	aux := int64(kind)
+	aux := int64(kind) | b2i(tornDown)<<4
 	if s.eng.Choosing() && len(d) > 0 {
-		aux |= int64(d.Checksum()<<8) >> 8 << 8 // keep kind in the low byte
+		aux |= int64(d.Checksum()<<8) >> 8 << 8 // keep kind+teardown in the low byte
 	}
 	s.net.SendTagged(sim.Label{Kind: "IREPLY", Page: int64(sp.page), Src: from, Dst: sp.homeProc, Aux: aux},
 		from, sp.homeProc, at, bytes, 0, func(at2 sim.Time) {
-			s.onInvReply(sp, from, kind, d, at2)
+			s.onInvReply(sp, from, kind, d, db, tornDown, at2)
 		})
 }
 
@@ -485,10 +555,15 @@ func (s *System) replyInv(sp *serverPage, from int, kind invReply, d Diff, at si
 // incoming modifications into the home frame; when the last reply
 // arrives, finish the release round. from is the replying Remote Client's
 // processor.
-func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, at sim.Time) {
+func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, db *DiffBuf, tornDown bool, at sim.Time) {
 	c := &s.cfg.Costs
-	s.emitPageArgs(at, -1, sp.page, "INVREPLY", [3]int64{int64(kind), int64(s.ssmpOf(from)), int64(len(d))},
-		"kind=%d diff=%d count->%d", kind, len(d), sp.count-1)
+	s.emitPageArgs(at, -1, sp.page, "INVREPLY", [3]int64{int64(kind), int64(s.ssmpOf(from)), b2i(tornDown)},
+		"kind=%d diff=%d torn=%v count->%d", kind, len(d), tornDown, sp.count-1)
+	if tornDown {
+		// One more incarnation of this SSMP's copy is fully retired;
+		// WNOTIFYs naming earlier incarnations are stale from now on.
+		sp.rmt[s.ssmpOf(from)].gens++
+	}
 	if kind == ackReply && sp.keepWriter >= 0 && s.ssmpOf(from) == sp.keepWriter {
 		// The supposedly retained single writer reports its copy already
 		// gone: its write_dir bit was a phantom. That happens when a
@@ -518,6 +593,7 @@ func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, at 
 			sp.sawDiff = true
 		}
 	}
+	putDiffBuf(db)
 	sp.count--
 	if len(sp.invQueue) > 0 {
 		s.dispatchInv(sp, at)
@@ -552,7 +628,6 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 		sp.keepWriter = -1
 		sp.sawDiff = false
 		sp.homeDirty = false
-		sp.captured = 0
 		// Unlike invalidate mode, copies persist and are never
 		// re-served, so the serve-time shootdown of the home SSMP's
 		// write mappings never recurs. Re-arm it here: the next home
@@ -584,15 +659,13 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 		reqs := sp.pendReq
 		sp.pendReq = nil
 		for _, rq := range reqs {
-			p := s.procs[rq.proc]
-			cp := s.ssmps[s.ssmpOf(rq.proc)].pages[sp.page]
-			s.serveData(sp, cp, p, rq.write, at)
+			s.serveData(sp, rq.cp, s.procs[rq.proc], rq.write, at)
 		}
 		rerel := sp.pendReRel
 		sp.pendReRel = nil
 		for _, rp := range rerel {
 			s.st.Count("rel.requeued", 1)
-			s.onRel(sp, rp, at)
+			s.onRel(sp, rp, -1, false, at)
 		}
 		return
 	}
@@ -626,7 +699,6 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 		sp.state = sWrite
 		sp.keepWriter = -1
 	}
-	sp.captured = 0
 	if k := s.cfg.Costs.MigrateAfter; k > 0 && sp.writeDir == 0 && sp.readDir == 0 &&
 		sp.streak >= k && sp.lastReq != s.ssmpOf(sp.homeProc) && len(sp.pendReq) == 0 {
 		s.migrateHome(sp, sp.lastReq, at)
@@ -639,9 +711,7 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 	reqs := sp.pendReq
 	sp.pendReq = nil
 	for _, rq := range reqs {
-		p := s.procs[rq.proc]
-		cp := s.ssmps[s.ssmpOf(rq.proc)].pages[sp.page]
-		s.serveData(sp, cp, p, rq.write, at)
+		s.serveData(sp, rq.cp, s.procs[rq.proc], rq.write, at)
 	}
 	// Releases that arrived after their SSMP's capture start over as a
 	// fresh round (the first re-REL opens it; the rest fold in safely,
@@ -650,7 +720,7 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 	sp.pendReRel = nil
 	for _, rp := range rerel {
 		s.st.Count("rel.requeued", 1)
-		s.onRel(sp, rp, at)
+		s.onRel(sp, rp, -1, false, at)
 	}
 }
 
@@ -658,9 +728,10 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 // protocol); the copy replays its own post-capture writes on top and
 // acknowledges.
 func (s *System) sendRefresh(sp *serverPage, r int, img []byte, at sim.Time) {
-	cp := s.ssmps[r].pages[sp.page]
+	rc := &sp.rmt[r]
+	cp, o := rc.cp, int(rc.owner)
 	s.st.Count("upd.refresh", 1)
-	s.net.Send(sp.homeProc, s.clientOwner(cp), at, s.cfg.PageSize+s.cfg.Costs.CtrlBytes, 0,
+	s.net.Send(sp.homeProc, o, at, s.cfg.PageSize+s.cfg.Costs.CtrlBytes, 0,
 		func(at2 sim.Time) {
 			s.lockHandler(cp, at2, func(at3 sim.Time) {
 				if cp.frame != nil && (cp.state == PWrite || cp.state == PRead) {
@@ -689,9 +760,11 @@ func (s *System) sendRefresh(sp *serverPage, r int, img []byte, at sim.Time) {
 }
 
 // migrateHome moves the page's home to SSMP r (dynamic migration, an
-// extension — see Costs.MigrateAfter). Called at a quiescent point: no
-// copies outstanding, no queued requests. The old home SSMP's own
-// mapping is torn down; its processors refetch like any other client.
+// extension — see Costs.MigrateAfter; sequential-only, so the Server
+// record's move between shard maps is safe). Called at a quiescent
+// point: no copies outstanding, no queued requests. The old home SSMP's
+// own mapping is torn down; its processors refetch like any other
+// client.
 func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
 	oldHome := sp.homeProc
 	oldSSMP := s.ssmpOf(oldHome)
@@ -709,9 +782,13 @@ func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
 		s.recycleTwin(hcp)
 		hcp.state = PInv
 	}
+	// The Server record follows the home: it lives in the home shard's
+	// map so lookups resolve through the (re-homed) address space.
+	delete(s.ssmps[oldSSMP].servers, sp.page)
 	sp.homeProc = newHome
 	sp.streak = 0
 	s.space.Rehome(sp.page, newHome)
+	s.ssmps[r].servers[sp.page] = sp
 	s.st.Count("migrate", 1)
 	s.emitPage(at, -1, sp.page, "MIGRATE", "home %d -> %d", oldHome, newHome)
 	// The page image travels to the new home's memory.

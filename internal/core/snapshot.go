@@ -16,6 +16,7 @@ const (
 	RelNoTargets                 // no copies outstanding; RACK immediately
 	RelRequeued                  // releaser's SSMP already captured; re-run later
 	RelRequeuedHome              // post-refresh home release (update protocol)
+	RelSatisfied                 // copy's capture round already done; RACK immediately
 )
 
 const (
@@ -34,6 +35,7 @@ const (
 	relNoTargets    = RelNoTargets
 	relRequeued     = RelRequeued
 	relRequeuedHome = RelRequeuedHome
+	relSatisfied    = RelSatisfied
 
 	finvAckTeardown   = FinvAckTeardown
 	finvDiffTeardown  = FinvDiffTeardown
@@ -58,6 +60,8 @@ type ClientSnap struct {
 	TLBDir      uint64
 	OwnerProc   int
 	Gen         int64
+	HomeGen     int64 // teardowns the home has counted for this SSMP (rmt[].gens)
+	CapRound    int64 // release round that last captured this copy
 	InvCount    int
 	LockHeld    bool
 	LockWaiters int
@@ -78,7 +82,7 @@ type PageSnap struct {
 	KeepWriter int
 	SawDiff    bool
 	HomeDirty  bool
-	Captured   uint64
+	Round      int64 // current/most recent release round id
 	InvQueued  int
 	PendRel    int
 	PendReq    int
@@ -105,18 +109,16 @@ func fnvBytes(h uint64, b []byte) uint64 {
 // (and hash) equal. Host-side, no simulated cost. The model checker
 // uses it both for invariant checking and for canonical state hashing.
 func (s *System) SnapshotProtocol() []PageSnap {
-	pages := make([]vm.Page, 0, len(s.servers))
-	for v := range s.servers {
-		pages = append(pages, v)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	var pages []vm.Page
 	for _, ss := range s.ssmps {
-		client := make([]vm.Page, 0, len(ss.pages))
-		for v := range ss.pages {
-			client = append(client, v)
+		//mgslint:allow maprange -- collect-then-sort: keys only appended, sorted right after the enclosing loop
+		for v := range ss.servers {
+			pages = append(pages, v)
 		}
-		sort.Slice(client, func(i, j int) bool { return client[i] < client[j] })
-		pages = append(pages, client...)
+		//mgslint:allow maprange -- collect-then-sort: keys only appended, sorted right after the enclosing loop
+		for v := range ss.pages {
+			pages = append(pages, v)
+		}
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	// A client page can exist without a server entry (never faulted
@@ -127,7 +129,8 @@ func (s *System) SnapshotProtocol() []PageSnap {
 			continue
 		}
 		ps := PageSnap{Page: v, HomeProc: s.space.HomeProc(v), KeepWriter: -1}
-		if sp, ok := s.servers[v]; ok {
+		sp := s.serverIfExists(v)
+		if sp != nil {
 			ps.HomeProc = sp.homeProc
 			ps.InRound = sp.state == sRel
 			ps.Writable = sp.state == sWrite
@@ -135,19 +138,23 @@ func (s *System) SnapshotProtocol() []PageSnap {
 			ps.Count = sp.count
 			ps.KeepWriter = sp.keepWriter
 			ps.SawDiff, ps.HomeDirty = sp.sawDiff, sp.homeDirty
-			ps.Captured = sp.captured
+			ps.Round = sp.round
 			ps.InvQueued = len(sp.invQueue)
 			ps.PendRel, ps.PendReq, ps.PendReRel = len(sp.pendRel), len(sp.pendReq), len(sp.pendReRel)
 			ps.FrameSum = fnvBytes(fnvOffset64, sp.frame.Data)
 		}
 		for _, ss := range s.ssmps {
 			cs := ClientSnap{SSMP: ss.id, State: PInv, OwnerProc: -1}
+			if sp != nil {
+				cs.HomeGen = sp.rmt[ss.id].gens
+			}
 			if cp, ok := ss.pages[v]; ok {
 				cs.State = cp.state
 				cs.HasTwin = cp.twin != nil
 				cs.TLBDir = cp.tlbDir
 				cs.OwnerProc = cp.ownerProc
 				cs.Gen = cp.gen
+				cs.CapRound = cp.capturedRound
 				cs.InvCount = cp.invCount
 				cs.LockHeld = cp.lk.held
 				cs.LockWaiters = len(cp.lk.waiters)

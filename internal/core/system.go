@@ -105,7 +105,15 @@ type clientPage struct {
 	ownerProc int    // global proc owning this SSMP's copy (first touch); -1 until placed
 	lk        ptLock
 	version   int64 // home version this copy reflects (lazy release only)
-	gen       int64 // incarnation counter, bumped at teardown (lazy versioning, stale-WNOTIFY check)
+	gen       int64 // incarnation counter, bumped at teardown (lazy versioning)
+
+	// capturedRound is the server round that last captured this copy's
+	// modifications (finishInv), carried by this SSMP's next REL so the
+	// home can tell a release whose data the running round already
+	// collected from one it has not. Written and read only on the
+	// copy's own shard; the value travels to the home in the REL
+	// message, never by a cross-shard read.
+	capturedRound int64
 
 	// Lazy-release bookkeeping: diff-carrying RELs of this copy's data
 	// still in flight, and releases waiting for them to reach the home
@@ -135,6 +143,25 @@ type invTarget struct {
 type pendingReq struct {
 	proc  int
 	write bool
+	cp    *clientPage // the requester's page record, captured at REQ time
+}
+
+// String elides the page-record pointer: pendingReq values appear in
+// trace output, which must be identical across runs of one seed.
+func (q pendingReq) String() string {
+	return fmt.Sprintf("{%d %v}", q.proc, q.write)
+}
+
+// remoteCopy is the Server's home-side record of one SSMP's copy: the
+// client page record and owning processor (captured when the copy is
+// served, so invalidations address the Remote Client without reading
+// the remote SSMP's state), and the count of torn-down incarnations
+// whose teardown replies have reached the home (the WNOTIFY staleness
+// check — see onUpgrade).
+type remoteCopy struct {
+	cp    *clientPage
+	owner int32 // global proc owning the SSMP's copy; -1 until first served
+	gens  int64 // teardown replies received from this SSMP
 }
 
 // serverPage is the Server state for one page at its home.
@@ -156,8 +183,9 @@ type serverPage struct {
 	keepWriter  int         // SSMP retaining its copy (single-writer opt), or -1
 	sawDiff     bool        // foreign data merged during this round
 	homeDirty   bool        // home-SSMP in-place writes since the last round
-	captured    uint64      // SSMPs whose modifications this round has captured
-	pendReRel   []int       // releases that must run as a fresh round
+	round       int64       // release rounds opened; the current round's id while state == sRel
+	rmt         []remoteCopy
+	pendReRel   []int // releases that must run as a fresh round
 	pendReq     []pendingReq
 	pendRel     []int // processors awaiting RACK
 }
@@ -171,10 +199,8 @@ type System struct {
 	st    *stats.Collector
 	procs []*sim.Proc
 
-	frames  *mem.FrameAllocator
-	tlbs    []*vm.TLB
-	ssmps   []*ssmpState
-	servers map[vm.Page]*serverPage
+	tlbs  []*vm.TLB
+	ssmps []*ssmpState
 
 	// acc is the per-processor last-translation micro-cache: the result
 	// of the last successful TLB lookup, revalidated against the TLB
@@ -182,10 +208,6 @@ type System struct {
 	// It removes both the TLB probe and the SSMP page-map lookup from
 	// the common case of consecutive accesses to one page.
 	acc []accEntry
-
-	// pageBufs is a free list of page-size buffers reused for twins, so
-	// steady-state twinning does not allocate.
-	pageBufs [][]byte
 
 	// Obs is the observability spine. Nil (or an observer with no
 	// sinks) keeps the trace path structurally detached: emitPage
@@ -259,12 +281,18 @@ func (s *System) emitEngine(t sim.Time, proc int, v vm.Page, name string, dur si
 	})
 }
 
-// ssmpState is the per-SSMP software state.
+// ssmpState is the per-SSMP software state. Everything here — client
+// pages, the Server records of pages homed on this SSMP, the frame
+// allocator — is touched only by events executing on this SSMP's
+// shard, which is what lets the parallel dispatcher advance SSMPs
+// concurrently with no locks on the simulated path.
 type ssmpState struct {
-	id     int
-	domain *cache.Domain
-	pages  map[vm.Page]*clientPage
-	duqs   []*duq // one per local processor
+	id      int
+	domain  *cache.Domain
+	pages   map[vm.Page]*clientPage
+	servers map[vm.Page]*serverPage // pages homed on this SSMP
+	frames  *mem.FrameAllocator     // this SSMP's physical frame region
+	duqs    []*duq                  // one per local processor
 }
 
 // New wires a System over an engine, network, address space, stats
@@ -275,10 +303,8 @@ func New(eng *sim.Engine, net *msg.Network, space *vm.Space, st *stats.Collector
 	}
 	s := &System{
 		eng: eng, cfg: cfg, net: net, space: space, st: st, procs: procs,
-		frames:  mem.NewFrameAllocator(cfg.PageSize),
-		tlbs:    make([]*vm.TLB, cfg.NProcs),
-		servers: make(map[vm.Page]*serverPage),
-		acc:     make([]accEntry, cfg.NProcs),
+		tlbs: make([]*vm.TLB, cfg.NProcs),
+		acc:  make([]accEntry, cfg.NProcs),
 	}
 	nssmp := cfg.NProcs / cfg.ClusterSize
 	for i := 0; i < cfg.NProcs; i++ {
@@ -286,9 +312,13 @@ func New(eng *sim.Engine, net *msg.Network, space *vm.Space, st *stats.Collector
 	}
 	for i := 0; i < nssmp; i++ {
 		ss := &ssmpState{
-			id:     i,
-			domain: cache.NewDomain(cfg.ClusterSize, cfg.PageSize, cfg.CacheParams, cfg.CacheCosts),
-			pages:  make(map[vm.Page]*clientPage),
+			id:      i,
+			domain:  cache.NewDomain(cfg.ClusterSize, cfg.PageSize, cfg.CacheParams, cfg.CacheCosts),
+			pages:   make(map[vm.Page]*clientPage),
+			servers: make(map[vm.Page]*serverPage),
+			// Disjoint frame-ID regions (2^40 IDs each) keep frame tags
+			// machine-wide unique with no cross-SSMP coordination.
+			frames: mem.NewFrameAllocatorAt(uint64(i)<<40, cfg.PageSize),
 			duqs:   make([]*duq, cfg.ClusterSize),
 		}
 		for j := range ss.duqs {
@@ -346,15 +376,11 @@ func (s *System) parkCharge(p *sim.Proc, cat stats.Category) {
 	s.st.Charge(p.ID, cat, p.Clock()-c0)
 }
 
-// newTwin snapshots f into a page-size buffer drawn from the free list.
+// newTwin snapshots f into a page-size buffer drawn from the
+// process-wide pool (pool.go); the buffer is fully overwritten here, so
+// pooling never leaks state between runs.
 func (s *System) newTwin(f *mem.Frame) []byte {
-	var b []byte
-	if n := len(s.pageBufs); n > 0 {
-		b = s.pageBufs[n-1]
-		s.pageBufs = s.pageBufs[:n-1]
-	} else {
-		b = make([]byte, s.cfg.PageSize)
-	}
+	b := getPageBuf(s.cfg.PageSize)
 	copy(b, f.Data)
 	return b
 }
@@ -369,11 +395,11 @@ func (s *System) retwin(cp *clientPage) {
 	copy(cp.twin, cp.frame.Data)
 }
 
-// recycleTwin returns cp's twin buffer (if any) to the free list. Diffs
+// recycleTwin returns cp's twin buffer (if any) to the pool. Diffs
 // never alias twin storage, so a recycled buffer has no live readers.
 func (s *System) recycleTwin(cp *clientPage) {
 	if cp.twin != nil {
-		s.pageBufs = append(s.pageBufs, cp.twin)
+		putPageBuf(cp.twin)
 		cp.twin = nil
 	}
 }
@@ -388,18 +414,31 @@ func (ss *ssmpState) ensurePage(v vm.Page) *clientPage {
 	return cp
 }
 
-// server returns (creating if needed) the Server record for page v. The
-// home frame is created zeroed.
+// server returns (creating if needed) the Server record for page v,
+// which lives on the home processor's SSMP. The home frame is created
+// zeroed. Under the parallel dispatcher this must only be called from
+// the home shard's execution context (or host-side, outside the run).
 func (s *System) server(v vm.Page) *serverPage {
-	sp, ok := s.servers[v]
+	ss := s.ssmps[s.ssmpOf(s.space.HomeProc(v))]
+	sp, ok := ss.servers[v]
 	if !ok {
 		sp = &serverPage{
 			page: v, homeProc: s.space.HomeProc(v),
-			frame: s.frames.Alloc(), state: sRead, keepWriter: -1,
+			frame: ss.frames.Alloc(), state: sRead, keepWriter: -1,
+			rmt: make([]remoteCopy, len(s.ssmps)),
 		}
-		s.servers[v] = sp
+		for i := range sp.rmt {
+			sp.rmt[i].owner = -1
+		}
+		ss.servers[v] = sp
 	}
 	return sp
+}
+
+// serverIfExists returns the Server record for page v, or nil if the
+// page has never been served. Same shard discipline as server.
+func (s *System) serverIfExists(v vm.Page) *serverPage {
+	return s.ssmps[s.ssmpOf(s.space.HomeProc(v))].servers[v]
 }
 
 // BackdoorFrame returns the home frame of the page containing va,
@@ -438,7 +477,7 @@ func (s *System) SnapshotMemory() []byte {
 	last := s.space.PageOf(brk - 1)
 	out := make([]byte, (int(last)+1)*ps)
 	for v := vm.Page(0); v <= last; v++ {
-		if sp, ok := s.servers[v]; ok {
+		if sp := s.serverIfExists(v); sp != nil {
 			copy(out[int(v)*ps:(int(v)+1)*ps], sp.frame.Data)
 		}
 	}
@@ -520,16 +559,19 @@ func (s *System) DUQLen(p int) int {
 // pages print in sorted order so two dumps of the same state compare
 // equal).
 func (s *System) DumpServers(f func(format string, args ...any)) {
-	pages := make([]vm.Page, 0, len(s.servers))
-	for v := range s.servers {
-		pages = append(pages, v)
+	var pages []vm.Page
+	for _, ss := range s.ssmps {
+		//mgslint:allow maprange -- collect-then-sort: keys only appended, sorted right after the enclosing loop
+		for v := range ss.servers {
+			pages = append(pages, v)
+		}
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	for _, v := range pages {
-		sp := s.servers[v]
+		sp := s.serverIfExists(v)
 		if sp.state == sRel || len(sp.pendRel) > 0 || len(sp.pendReq) > 0 || sp.count != 0 || len(sp.invQueue) > 0 || sp.refreshing != 0 || len(sp.pendReRel) > 0 {
-			f("page=%d state=%d count=%d invQueue=%v keep=%d captured=%b pendRel=%v pendReq=%v pendReRel=%v R=%b W=%b",
-				v, sp.state, sp.count, sp.invQueue, sp.keepWriter, sp.captured, sp.pendRel, sp.pendReq, sp.pendReRel, sp.readDir, sp.writeDir)
+			f("page=%d state=%d count=%d invQueue=%v keep=%d round=%d pendRel=%v pendReq=%v pendReRel=%v R=%b W=%b",
+				v, sp.state, sp.count, sp.invQueue, sp.keepWriter, sp.round, sp.pendRel, sp.pendReq, sp.pendReRel, sp.readDir, sp.writeDir)
 		}
 	}
 	for si, ss := range s.ssmps {

@@ -30,6 +30,17 @@ type Config struct {
 	// plain software virtual memory, no software coherence.
 	Disabled bool
 
+	// EngineWorkers arms parallel event dispatch: the event heap shards
+	// per SSMP and up to this many OS threads advance the shards inside
+	// conservative lookahead windows of the inter-SSMP latency. Results
+	// are bit-identical to the sequential engine for every worker count
+	// (1 disarms and is the reference). Configurations the sharded
+	// dispatcher cannot serve — tracing or profiling observers, lazy
+	// release, home migration, the update protocol, mesh or jittered
+	// networks, debug checks, a single SSMP — fall back to sequential
+	// dispatch automatically.
+	EngineWorkers int
+
 	// Fault, when non-empty, interposes the deterministic fault-injecting
 	// reliable transport on every inter-SSMP message (internal/fault,
 	// msg.Network.AttachFault). An empty plan is the identity: the run is
@@ -76,6 +87,10 @@ func WithFaultPlan(p fault.Plan) Option { return func(c *Config) { c.Fault = p }
 // WithObserver attaches an observability spine to the machine.
 func WithObserver(o *obs.Observer) Option { return func(c *Config) { c.Obs = o } }
 
+// WithEngineWorkers sets the parallel event-dispatch worker count
+// (Config.EngineWorkers); n <= 1 keeps the sequential dispatcher.
+func WithEngineWorkers(n int) Option { return func(c *Config) { c.EngineWorkers = n } }
+
 // NewConfig returns the calibrated configuration for a P-processor
 // machine with clusters of c processors and the paper's parameters —
 // 1K-byte pages, a 64-entry software TLB, and a 1000-cycle inter-SSMP
@@ -84,8 +99,9 @@ func WithObserver(o *obs.Observer) Option { return func(c *Config) { c.Obs = o }
 func NewConfig(p, c int, opts ...Option) Config {
 	cfg := Config{
 		P: p, C: c, PageSize: 1024, TLBSize: 64, Delay: 1000,
-		Disabled: c == p,
-		Protocol: core.DefaultCosts(),
+		Disabled:      c == p,
+		EngineWorkers: EngineWorkers,
+		Protocol:      core.DefaultCosts(),
 		Cache: cache.Costs{
 			Hit: 2, Local: 11, Remote: 38, TwoParty: 42,
 			ThreeParty: 63, Software: 425, CleanPerLine: 40,
@@ -238,6 +254,9 @@ func (m *Machine) RunPer(bodyFor func(i int) func(c *Ctx)) (Result, error) {
 	for i := range m.bodies {
 		m.bodies[i] = bodyFor(i)
 	}
+	if w := m.Cfg.EngineWorkers; w > 1 && m.parallelOK() {
+		m.Eng.Parallelize(m.Cfg.C, w, m.Net.Lookahead())
+	}
 	if err := m.Eng.Run(); err != nil {
 		return Result{}, err
 	}
@@ -253,6 +272,49 @@ func (m *Machine) RunPer(bodyFor func(i int) func(c *Ctx)) (Result, error) {
 		Counters:   m.Stats.Counters(),
 		Fault:      m.Stats.Fault,
 	}, nil
+}
+
+// parallelOK reports whether this configuration is served by the
+// sharded parallel dispatcher. The gate is conservative: every feature
+// whose implementation reaches across SSMP boundaries outside the
+// message layer (or renders events to a strictly ordered trace) forces
+// the sequential dispatcher. The engine itself adds its own checks
+// (enough shards, no chooser, all events pinned); ineligible runs are
+// bit-identical by construction, so the gate is a pure performance
+// decision, never a correctness one.
+func (m *Machine) parallelOK() bool {
+	cfg := &m.Cfg
+	switch {
+	case cfg.Disabled:
+		// Null-MGS runs map pages via a single shared space with no
+		// inter-SSMP message latency to provide lookahead.
+		return false
+	case cfg.Obs.Tracing():
+		// Trace sinks receive events in global dispatch order.
+		return false
+	case cfg.Obs.Profiler() != nil:
+		// The profiler's attribution map is shared across processors.
+		return false
+	case cfg.Protocol.LazyRelease:
+		// Acquire-side validation reads home versions directly.
+		return false
+	case cfg.Protocol.MigrateAfter > 0:
+		// Home migration moves server records between SSMPs.
+		return false
+	case cfg.Protocol.UpdateProtocol:
+		// Update rounds refresh remote copies from the home frame.
+		return false
+	case cfg.Msg.InterMesh:
+		// Mesh link occupancy is global state with per-hop latency
+		// below the inter-SSMP lookahead bound.
+		return false
+	case cfg.Msg.Jitter > 0:
+		// Jitter draws from one shared deterministic stream.
+		return false
+	case m.DSM.DebugChecks:
+		return false
+	}
+	return m.Net.Lookahead() > 0
 }
 
 func (m *Machine) lastClock() sim.Time {

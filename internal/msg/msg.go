@@ -16,6 +16,8 @@
 package msg
 
 import (
+	"sync/atomic"
+
 	"mgs/internal/obs"
 	"mgs/internal/sim"
 )
@@ -214,13 +216,16 @@ func (n *Network) Send(from, to int, when sim.Time, bytes int, extra sim.Time, f
 // reliable transport's retransmission timing is outside the checker's
 // interleaving model (the checker never arms a fault plan).
 func (n *Network) SendTagged(l sim.Label, from, to int, when sim.Time, bytes int, extra sim.Time, fn func(done sim.Time)) {
+	// Traffic counters are commutative sums read only after the run, so
+	// atomic adds keep them exact under the parallel dispatcher (senders
+	// on different shards count concurrently).
 	inter := n.SSMPOf(from) != n.SSMPOf(to)
 	if inter {
-		n.Counters.InterMsgs++
-		n.Counters.InterBytes += int64(bytes)
+		atomic.AddInt64(&n.Counters.InterMsgs, 1)
+		atomic.AddInt64(&n.Counters.InterBytes, int64(bytes))
 	} else {
-		n.Counters.IntraMsgs++
-		n.Counters.IntraBytes += int64(bytes)
+		atomic.AddInt64(&n.Counters.IntraMsgs, 1)
+		atomic.AddInt64(&n.Counters.IntraBytes, int64(bytes))
 	}
 	if inter && n.inj != nil {
 		// Fault-injection mode: the message goes through the reliable
@@ -235,15 +240,34 @@ func (n *Network) SendTagged(l sim.Label, from, to int, when sim.Time, bytes int
 	} else {
 		arrive = when + n.costs.SendOverhead + n.Latency(from, to, bytes) + n.jitter()
 	}
-	n.eng.AtChoice(arrive, l, func() {
+	src, dst := n.procs[from], n.procs[to]
+	n.eng.AtChoiceSend(l, src, dst, arrive, func() {
 		// arrive names the scheduled delivery time; a chooser may run
 		// this event later, but handler occupancy (HandlerStart) and the
 		// engine's At clamp keep every derived time monotone.
 		cost := n.costs.HandlerEntry + extra
-		start := n.procs[to].HandlerStart(arrive, cost)
+		start := dst.HandlerStart(arrive, cost)
 		n.chargeHandler(to, cost)
-		n.eng.At(start+cost, func() { fn(start + cost) })
+		n.eng.AtOn(dst, start+cost, func() { fn(start + cost) })
 	})
+}
+
+// Lookahead returns the minimum latency any cross-SSMP scheduling pays
+// under the current cost table — the conservative PDES lookahead the
+// parallel dispatcher may advance shards by. The tightest cross-SSMP
+// gap is a transport-level ack (no send overhead, no payload), so the
+// bound is InterOverhead + InterDelay. Zero means no usable lookahead
+// (a mesh topology's contended latency has no fixed lower bound the
+// engine can exploit).
+func (n *Network) Lookahead() sim.Time {
+	if n.costs.InterMesh {
+		return 0
+	}
+	l := n.costs.InterOverhead + n.costs.InterDelay
+	if l < 0 {
+		return 0
+	}
+	return l
 }
 
 // SendCost is the occupancy a sender spends launching one message.

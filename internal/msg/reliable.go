@@ -2,6 +2,8 @@ package msg
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mgs/internal/fault"
 	"mgs/internal/obs"
@@ -71,29 +73,41 @@ func (cs *chanState) mark(seq int64) {
 }
 
 // pending is one logical message in flight through the faulty LAN.
+//
+// Under the parallel dispatcher the fields split cleanly by shard:
+// stream, attempts, rto, acked and firstEst are touched only by
+// sender-shard events (send/attempt/timer/ack-arrival), ackStream only
+// by receiver-shard events (sendAck), and everything else is immutable
+// after send. Window barriers order the cross-shard handoffs.
 type pending struct {
-	id       uint64
-	key      chanKey
-	seq      int64
-	bytes    int
-	extra    sim.Time
-	fn       func(done sim.Time)
-	stream   fault.Stream
-	acked    bool
-	attempts int
-	rto      sim.Time // timeout for the attempt in flight
-	firstEst sim.Time // fault-free arrival estimate of attempt 0
+	id        uint64
+	key       chanKey
+	seq       int64
+	bytes     int
+	extra     sim.Time
+	fn        func(done sim.Time)
+	stream    fault.Stream // sender-side fate draws (drop/dup/delay)
+	ackStream fault.Stream // receiver-side fate draws (ack loss)
+	acked     bool
+	attempts  int
+	rto       sim.Time // timeout for the attempt in flight
+	firstEst  sim.Time // fault-free arrival estimate of attempt 0
 }
 
 // injector sits between Network.Send and handler delivery, applying the
 // fault plan and the recovery protocol. All state changes happen in
-// engine context, so the machinery is deterministic by construction.
+// engine context, so the machinery is deterministic by construction —
+// message ids and fate streams key off channel coordinates and
+// per-channel sequence numbers, never off a global dispatch-order
+// counter, so the same fates fire whether the engine runs sequentially
+// or sharded.
 type injector struct {
-	net    *Network
-	plan   fault.Plan
-	fs     *stats.Fault
-	nextID uint64
-	chans  map[chanKey]*chanState
+	net  *Network
+	plan fault.Plan
+	fs   *stats.Fault
+
+	mu    sync.Mutex // guards chans (lazy creation races across shards)
+	chans map[chanKey]*chanState
 }
 
 // AttachFault interposes the fault-injecting reliable transport on all
@@ -153,31 +167,51 @@ func (in *injector) emit(t sim.Time, name string, from, to int, seq int64, id ui
 	o.Emit(obs.Event{T: t, Proc: -1, Cat: obs.Transport, Name: name, Detail: detail})
 }
 
-// chanOf returns (creating if needed) the channel state for key.
+// chanOf returns (creating if needed) the channel state for key. The
+// mutex covers only the map: a channel's sender fields are touched only
+// from the sender's shard and its receiver fields only from the
+// receiver's, so the state itself needs no lock.
 func (in *injector) chanOf(key chanKey) *chanState {
+	in.mu.Lock()
 	cs, ok := in.chans[key]
 	if !ok {
 		cs = &chanState{beyond: make(map[int64]bool)}
 		in.chans[key] = cs
 	}
+	in.mu.Unlock()
 	return cs
 }
 
+// msgID packs a channel's coordinates and per-channel sequence number
+// into the transport's message identity. Processor numbers fit 16 bits
+// and no channel carries 2^32 messages, so ids are unique — and, unlike
+// a global allocation counter, independent of the order channels
+// interleave, which keeps fate streams identical across sequential and
+// parallel dispatch.
+func msgID(key chanKey, seq int64) uint64 {
+	return uint64(key.from)<<48 | uint64(key.to)<<32 | uint64(seq)
+}
+
 // send enters one logical inter-SSMP message into the reliable
-// transport: assign its sequence number, seed its fate stream from the
-// plan and message id, and launch attempt zero.
+// transport: assign its sequence number, seed its fate streams from the
+// plan and message id, and launch attempt zero. Runs in the sending
+// processor's shard context.
 func (in *injector) send(from, to int, when sim.Time, bytes int, extra sim.Time, fn func(done sim.Time)) {
-	in.nextID++
 	key := chanKey{from, to}
 	cs := in.chanOf(key)
 	cs.nextSeq++
+	id := msgID(key, cs.nextSeq)
 	m := &pending{
-		id: in.nextID, key: key, seq: cs.nextSeq,
+		id: id, key: key, seq: cs.nextSeq,
 		bytes: bytes, extra: extra, fn: fn,
-		stream: in.plan.Stream(in.nextID),
-		rto:    in.net.costs.RetryTimeout,
+		// Separate streams per side: attempt fates are drawn on the
+		// sender's shard, ack fates on the receiver's, so sharing one
+		// splitmix64 state would race. The high bit splits the id space.
+		stream:    in.plan.Stream(id),
+		ackStream: in.plan.Stream(id | 1<<63),
+		rto:       in.net.costs.RetryTimeout,
 	}
-	in.fs.Messages++
+	atomic.AddInt64(&in.fs.Messages, 1)
 	in.attempt(m, when)
 }
 
@@ -188,7 +222,7 @@ func (in *injector) attempt(m *pending, when sim.Time) {
 	n := in.net
 	m.attempts++
 	if m.attempts > n.costs.RetryLimit {
-		n.eng.Stop(fmt.Errorf(
+		n.eng.StopOn(n.procs[m.key.from], fmt.Errorf(
 			"msg: message %d (%d->%d seq %d) undeliverable after %d attempts — loss rate too high for the retry limit",
 			m.id, m.key.from, m.key.to, m.seq, n.costs.RetryLimit))
 		return
@@ -208,36 +242,38 @@ func (in *injector) attempt(m *pending, when sim.Time) {
 	f := in.plan.NextAttempt(&m.stream)
 	switch {
 	case f.Drop:
-		in.fs.Dropped++
+		atomic.AddInt64(&in.fs.Dropped, 1)
 		in.emit(when, "DROP", m.key.from, m.key.to, m.seq, m.id, "attempt=%d", m.attempts)
 	default:
 		if f.Extra > 0 {
-			in.fs.Delayed++
-			in.fs.DelayCycles += int64(f.Extra)
+			atomic.AddInt64(&in.fs.Delayed, 1)
+			atomic.AddInt64(&in.fs.DelayCycles, int64(f.Extra))
 			in.emit(when, "DELAY", m.key.from, m.key.to, m.seq, m.id, "extra=%d attempt=%d", f.Extra, m.attempts)
 		}
 		in.deliverAt(m, arrive+f.Extra)
 		if f.Dup {
-			in.fs.Duplicated++
+			atomic.AddInt64(&in.fs.Duplicated, 1)
 			in.emit(when, "DUP", m.key.from, m.key.to, m.seq, m.id, "lag=%d attempt=%d", f.DupExtra, m.attempts)
 			in.deliverAt(m, arrive+f.Extra+f.DupExtra)
 		}
 	}
 	// Retransmission timer: a simulated timer interrupt on the sender.
 	// If the ack beat it, it is a no-op; otherwise the next attempt
-	// departs now with a doubled (capped) timeout.
+	// departs now with a doubled (capped) timeout. Sender-local, so the
+	// event is pinned to the sending processor and constrains no
+	// lookahead window.
 	fire := when + m.rto
 	m.rto *= 2
 	if m.rto > n.costs.RetryTimeoutMax {
 		m.rto = n.costs.RetryTimeoutMax
 	}
-	n.eng.At(fire, func() {
+	n.eng.AtOn(n.procs[m.key.from], fire, func() {
 		if m.acked {
 			return
 		}
-		in.fs.Timeouts++
-		in.fs.Retransmits++
-		in.fs.RetransBytes += int64(m.bytes)
+		atomic.AddInt64(&in.fs.Timeouts, 1)
+		atomic.AddInt64(&in.fs.Retransmits, 1)
+		atomic.AddInt64(&in.fs.RetransBytes, int64(m.bytes))
 		n.chargeHandler(m.key.from, n.costs.RetransmitWork)
 		in.emit(fire, "TIMEOUT", m.key.from, m.key.to, m.seq, m.id, "rto=%d -> RETRANSMIT attempt=%d", fire-when, m.attempts+1)
 		in.attempt(m, fire)
@@ -251,21 +287,22 @@ func (in *injector) attempt(m *pending, when sim.Time) {
 // the previous ack was lost, so the receiver re-acks.
 func (in *injector) deliverAt(m *pending, arrive sim.Time) {
 	n := in.net
-	n.eng.At(arrive, func() {
+	src, dst := n.procs[m.key.from], n.procs[m.key.to]
+	n.eng.AtSend(src, dst, arrive, func() {
 		cs := in.chanOf(m.key)
 		if cs.seen(m.seq) {
-			in.fs.DupSuppressed++
+			atomic.AddInt64(&in.fs.DupSuppressed, 1)
 			in.emit(arrive, "DUPDROP", m.key.from, m.key.to, m.seq, m.id, "(already delivered)")
 		} else {
 			cs.mark(m.seq)
 			if arrive > m.firstEst {
-				in.fs.RecoveryCycles += int64(arrive - m.firstEst)
+				atomic.AddInt64(&in.fs.RecoveryCycles, int64(arrive-m.firstEst))
 			}
 			cost := n.costs.HandlerEntry + m.extra
-			start := n.procs[m.key.to].HandlerStart(arrive, cost)
+			start := dst.HandlerStart(arrive, cost)
 			n.chargeHandler(m.key.to, cost)
 			fn := m.fn
-			n.eng.At(start+cost, func() { fn(start + cost) })
+			n.eng.AtOn(dst, start+cost, func() { fn(start + cost) })
 		}
 		in.sendAck(m, arrive)
 	})
@@ -278,14 +315,14 @@ func (in *injector) deliverAt(m *pending, arrive sim.Time) {
 // retransmission (suppressed at the receiver) provokes a fresh ack.
 func (in *injector) sendAck(m *pending, at sim.Time) {
 	n := in.net
-	in.fs.Acks++
-	if in.plan.AckDropped(&m.stream) {
-		in.fs.AckDropped++
+	atomic.AddInt64(&in.fs.Acks, 1)
+	if in.plan.AckDropped(&m.ackStream) {
+		atomic.AddInt64(&in.fs.AckDropped, 1)
 		in.emit(at, "ACKDROP", m.key.to, m.key.from, m.seq, m.id, "")
 		return
 	}
 	arrive := at + n.Latency(m.key.to, m.key.from, n.costs.AckBytes) + n.jitter()
-	n.eng.At(arrive, func() {
+	n.eng.AtSend(n.procs[m.key.to], n.procs[m.key.from], arrive, func() {
 		if !m.acked {
 			m.acked = true
 			in.emit(arrive, "ACK", m.key.to, m.key.from, m.seq, m.id, "")

@@ -32,8 +32,11 @@ type localBarrier struct {
 }
 
 // Barrier returns the barrier with the given id, creating it on first
-// use.
+// use. Creation is guarded (see System.mu); the created state is a pure
+// function of id, so concurrent first uses agree.
 func (m *System) Barrier(id int) *Barrier {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if b, ok := m.barriers[id]; ok {
 		return b
 	}

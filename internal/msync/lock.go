@@ -2,6 +2,7 @@ package msync
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"mgs/internal/obs"
 	"mgs/internal/sim"
@@ -16,12 +17,17 @@ type Lock struct {
 
 	local []localLock
 
-	// Global-lock state (lives at home; single-threaded simulation lets
-	// us keep it here, mutated only by home-side handlers).
+	// Global-lock state: lives at home, mutated only by home-side
+	// handlers — under the parallel dispatcher that makes it shard-local
+	// to the home's shard.
 	tokenOwner int   // SSMP currently holding the token
 	reqQueue   []int // SSMPs waiting for the token, FIFO
 	demandOut  bool  // a DEMAND message is outstanding
 
+	// hits/total update atomically: acquires on different SSMPs run on
+	// different shards concurrently. heldSince needs no atomics — it is
+	// only touched by the token-holding SSMP, and token transfer crosses
+	// a window barrier.
 	hits, total int64
 	heldSince   sim.Time
 }
@@ -42,8 +48,13 @@ func (m *System) Lock(id int) *Lock { return m.LockHomed(id, id%m.p) }
 // LockHomed returns lock id, creating it with its global half on the
 // given processor (a lock placed with the data it protects, as the
 // paper's per-molecule locks are). The home only takes effect at
-// creation.
+// creation. Creation is guarded: processors on different shards can
+// reach a lock's first use concurrently, and the created state is a
+// pure function of (id, home), so whichever racer registers it wins
+// without affecting the simulation.
 func (m *System) LockHomed(id, home int) *Lock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if l, ok := m.locks[id]; ok {
 		return l
 	}
@@ -70,13 +81,13 @@ func (l *Lock) Acquire(p *sim.Proc) {
 	defer m.st.ProfSet(p.ID, pk, pid)
 	s := m.ssmpOf(p.ID)
 	ll := &l.local[s]
-	l.total++
+	atomic.AddInt64(&l.total, 1)
 	m.charge(p, stats.Lock, m.costs.LockOp)
 
 	if ll.hasToken && !ll.held {
 		ll.held = true
 		l.heldSince = p.Clock()
-		l.hits++
+		atomic.AddInt64(&l.hits, 1)
 		m.dsm.AcquireSync(p) // lazy-release acquire-side coherence
 		return
 	}
@@ -138,9 +149,12 @@ func (l *Lock) Release(p *sim.Proc) {
 		ll.waitQ = ll.waitQ[1:]
 		ll.held = true
 		l.heldSince = p.Clock() + m.costs.LockOp
-		l.hits++
+		atomic.AddInt64(&l.hits, 1)
 		m.emitSync(p.Clock(), p.ID, obs.ObjLock, l.id, "HANDOFF", "releaser=%d(clk %d) next=%d(clk %d)", p.ID, p.Clock(), next.ID, next.Clock())
-		m.eng.At(p.Clock()+m.costs.LockOp, func() { next.Wake(p.Clock() + m.costs.LockOp) })
+		// Pinned to the waiter (same SSMP as the releaser): a local
+		// handoff must not look like a cross-shard event to the
+		// parallel dispatcher.
+		m.eng.AtOn(next, p.Clock()+m.costs.LockOp, func() { next.Wake(p.Clock() + m.costs.LockOp) })
 	}
 }
 
@@ -236,7 +250,9 @@ func (l *Lock) onTokenGrant(s int, at sim.Time) {
 }
 
 // Stats reports the lock's hit and total acquire counts (Figure 11).
-func (l *Lock) Stats() (hits, total int64) { return l.hits, l.total }
+func (l *Lock) Stats() (hits, total int64) {
+	return atomic.LoadInt64(&l.hits), atomic.LoadInt64(&l.total)
+}
 
 // charge advances p and attributes the cycles.
 func (m *System) charge(p *sim.Proc, cat stats.Category, cycles sim.Time) {

@@ -25,6 +25,7 @@ package msync
 
 import (
 	"fmt"
+	"sync"
 
 	"mgs/internal/core"
 	"mgs/internal/msg"
@@ -55,6 +56,10 @@ type System struct {
 	costs Costs
 	p, c  int
 
+	// mu guards lazy creation in the locks and barriers maps:
+	// processors on different shards of the parallel dispatcher can
+	// reach a primitive's first use concurrently.
+	mu       sync.Mutex
 	locks    map[int]*Lock
 	barriers map[int]*Barrier
 
@@ -110,17 +115,21 @@ func (m *System) repProc(s, id int) int { return s*m.c + id%m.c }
 // LockStats aggregates hit/total across the given locks (all locks if
 // ids is empty).
 func (m *System) LockStats(ids ...int) (hits, total int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(ids) == 0 {
 		for _, l := range m.locks {
-			hits += l.hits
-			total += l.total
+			h, t := l.Stats()
+			hits += h
+			total += t
 		}
 		return hits, total
 	}
 	for _, id := range ids {
 		if l, ok := m.locks[id]; ok {
-			hits += l.hits
-			total += l.total
+			h, t := l.Stats()
+			hits += h
+			total += t
 		}
 	}
 	return hits, total

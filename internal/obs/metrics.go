@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Registry is the metrics registry: named counters, gauges, and
@@ -11,7 +13,16 @@ import (
 // independent subsystems can share a registry without coordination.
 // Snapshots are deterministic: names sort lexicographically and
 // histogram bucket layouts are fixed at registration.
+//
+// The registry is safe for concurrent use: the parallel event
+// dispatcher's shards count into it simultaneously. The mutex covers
+// only the name maps; counters and histograms update with atomics, so
+// the hot increment path takes no lock. Concurrent totals stay
+// deterministic because the committed event set is schedule-independent
+// and addition commutes (histogram buckets likewise: each observation
+// lands in a fixed bucket).
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]func() int64
 	hists    map[string]*Histogram
@@ -30,18 +41,20 @@ func NewRegistry() *Registry {
 type Counter struct{ v int64 }
 
 // Add increments the counter.
-func (c *Counter) Add(delta int64) { c.v += delta }
+func (c *Counter) Add(delta int64) { atomic.AddInt64(&c.v, delta) }
 
 // Value reads the counter.
-func (c *Counter) Value() int64 { return c.v }
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
 
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
 	}
+	r.mu.Unlock()
 	return c
 }
 
@@ -52,7 +65,11 @@ func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
 // registry is snapshotted, so subsystems expose live state (directory
 // sizes, hit totals, TLB occupancy) without double bookkeeping.
 // Re-registering a name replaces the reader.
-func (r *Registry) Gauge(name string, fn func() int64) { r.gauges[name] = fn }
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
 
 // TimeBuckets is the fixed virtual-time histogram layout: roughly
 // logarithmic from a cache hit to a long protocol round, in cycles.
@@ -73,22 +90,22 @@ type Histogram struct {
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
-	h.n++
-	h.sum += v
+	atomic.AddInt64(&h.n, 1)
+	atomic.AddInt64(&h.sum, v)
 	for i, b := range h.bounds {
 		if v <= b {
-			h.counts[i]++
+			atomic.AddInt64(&h.counts[i], 1)
 			return
 		}
 	}
-	h.counts[len(h.bounds)]++
+	atomic.AddInt64(&h.counts[len(h.bounds)], 1)
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.n }
+func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.n) }
 
 // Sum returns the sum of observed values.
-func (h *Histogram) Sum() int64 { return h.sum }
+func (h *Histogram) Sum() int64 { return atomic.LoadInt64(&h.sum) }
 
 // Buckets returns the bucket upper bounds and per-bucket counts (the
 // last count is the overflow bucket). The returned slices are live;
@@ -99,6 +116,7 @@ func (h *Histogram) Buckets() (bounds, counts []int64) { return h.bounds, h.coun
 // given bucket bounds; bounds are fixed at first registration and nil
 // means TimeBuckets.
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
 	h, ok := r.hists[name]
 	if !ok {
 		if bounds == nil {
@@ -107,6 +125,7 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 		r.hists[name] = h
 	}
+	r.mu.Unlock()
 	return h
 }
 
@@ -164,6 +183,7 @@ func (m Metric) String() string {
 // histograms, each group sorted by name — a deterministic, stable
 // ordering for goldens and CSVs.
 func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
 	var names []string
 	for n := range r.counters {
 		names = append(names, n)
@@ -171,26 +191,41 @@ func (r *Registry) Snapshot() []Metric {
 	sort.Strings(names)
 	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for _, n := range names {
-		out = append(out, Metric{Name: n, Kind: CounterKind, Value: r.counters[n].v})
+		out = append(out, Metric{Name: n, Kind: CounterKind, Value: r.counters[n].Value()})
 	}
 	names = names[:0]
+	var gnames []string
 	for n := range r.gauges {
-		names = append(names, n)
+		gnames = append(gnames, n)
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		out = append(out, Metric{Name: n, Kind: GaugeKind, Value: r.gauges[n]()})
+	sort.Strings(gnames)
+	gauges := make([]func() int64, len(gnames))
+	for i, n := range gnames {
+		gauges[i] = r.gauges[n]
 	}
-	names = names[:0]
 	for n := range r.hists {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		h := r.hists[n]
+	hists := make([]*Histogram, len(names))
+	for i, n := range names {
+		hists[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+	// Gauge readers run outside the lock: they may re-enter the registry
+	// (e.g. a gauge aggregating counters).
+	for i, n := range gnames {
+		out = append(out, Metric{Name: n, Kind: GaugeKind, Value: gauges[i]()})
+	}
+	for i, n := range names {
+		h := hists[i]
+		counts := make([]int64, len(h.counts))
+		for j := range h.counts {
+			counts[j] = atomic.LoadInt64(&h.counts[j])
+		}
 		out = append(out, Metric{
-			Name: n, Kind: HistogramKind, Value: h.n, Sum: h.sum,
-			Bounds: h.bounds, Counts: h.counts,
+			Name: n, Kind: HistogramKind, Value: h.Count(), Sum: h.Sum(),
+			Bounds: h.bounds, Counts: counts,
 		})
 	}
 	return out
@@ -199,10 +234,12 @@ func (r *Registry) Snapshot() []Metric {
 // CounterStrings renders just the counters as sorted "name=value"
 // lines — the legacy Collector.Counters shape.
 func (r *Registry) CounterStrings() []string {
+	r.mu.Lock()
 	out := make([]string, 0, len(r.counters))
 	for k, v := range r.counters {
-		out = append(out, fmt.Sprintf("%s=%d", k, v.v))
+		out = append(out, fmt.Sprintf("%s=%d", k, v.Value()))
 	}
+	r.mu.Unlock()
 	sort.Strings(out)
 	return out
 }

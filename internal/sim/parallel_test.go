@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// parTrace is what one synthetic run observes: a per-proc event log
+// (proc-local, so recording it is race-free under the parallel
+// dispatcher) plus the final clocks.
+type parTrace struct {
+	logs   [][]string
+	clocks []Time
+}
+
+// runSynthetic builds nshards shards of csize procs each. Every proc
+// does bursts of local work, exchanges same-shard wake-ups, and sends
+// cross-shard "messages" that arrive exactly `lat` cycles later — the
+// lookahead the parallel dispatcher is armed with. workers <= 1 runs
+// the sequential reference.
+func runSynthetic(t *testing.T, nshards, csize, workers int, lat Time) parTrace {
+	t.Helper()
+	e := NewEngine()
+	n := nshards * csize
+	tr := parTrace{logs: make([][]string, n), clocks: make([]Time, n)}
+	procs := make([]*Proc, n)
+	record := func(id int, at Time, what string) {
+		tr.logs[id] = append(tr.logs[id], fmt.Sprintf("%d:%s", at, what))
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = e.NewProc(i, 0, func(p *Proc) {
+			for round := 0; round < 6; round++ {
+				p.Advance(Time(10 + (i*7+round*13)%50))
+				// Same-shard ping to the next proc in the shard.
+				peer := (i/csize)*csize + (i+1)%csize
+				if peer != i {
+					pp := procs[peer]
+					e.AtOn(p, p.Clock()+5, func() {
+						record(pp.ID, 0, "ping")
+					})
+				}
+				// Cross-shard message to the same slot in the next shard.
+				dst := (i + csize) % n
+				dp, at := procs[dst], p.Clock()+lat+Time(round)
+				e.AtSend(p, dp, at, func() {
+					record(dp.ID, at, fmt.Sprintf("msg-from-%d", i))
+				})
+				p.Sleep(Time(20 + (i*3+round)%17))
+			}
+			record(i, p.Clock(), "done")
+		})
+	}
+	e.Parallelize(csize, workers, lat)
+	if err := e.Run(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	for i, p := range procs {
+		tr.clocks[i] = p.Clock()
+	}
+	return tr
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ nshards, csize, workers int }{
+		{4, 2, 2}, {4, 2, 4}, {8, 1, 3}, {2, 4, 2}, {8, 4, 8},
+	} {
+		name := fmt.Sprintf("s%dc%dw%d", tc.nshards, tc.csize, tc.workers)
+		t.Run(name, func(t *testing.T) {
+			ref := runSynthetic(t, tc.nshards, tc.csize, 1, 1500)
+			par := runSynthetic(t, tc.nshards, tc.csize, tc.workers, 1500)
+			if !reflect.DeepEqual(ref.clocks, par.clocks) {
+				t.Fatalf("clocks diverged:\nseq %v\npar %v", ref.clocks, par.clocks)
+			}
+			if !reflect.DeepEqual(ref.logs, par.logs) {
+				t.Fatalf("per-proc logs diverged:\nseq %v\npar %v", ref.logs, par.logs)
+			}
+		})
+	}
+}
+
+// TestParallelFallsBackOnUnpinnedEvent pins the fallback contract: one
+// unpinned At event makes the armed engine run sequentially.
+func TestParallelFallsBackOnUnpinnedEvent(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 4; i++ {
+		e.NewProc(i, 0, func(p *Proc) { p.Advance(10) })
+	}
+	e.At(5, func() {})
+	e.Parallelize(1, 4, 1000)
+	if e.Parallelized() {
+		t.Fatal("engine claims parallel eligibility with an unpinned event queued")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelStopPicksEarliest pins the Stop contract: with stops
+// raised on two shards in one window, the error of the earliest stop in
+// sequential dispatch order is returned, at every worker count.
+func TestParallelStopPicksEarliest(t *testing.T) {
+	run := func(workers int) error {
+		e := NewEngine()
+		procs := make([]*Proc, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			procs[i] = e.NewProc(i, 0, func(p *Proc) {
+				p.Advance(Time(10 * (i + 1)))
+				if i >= 2 {
+					pp := procs[i]
+					e.AtOn(p, p.Clock(), func() {
+						e.StopOn(pp, fmt.Errorf("stop-%d", pp.ID))
+					})
+				}
+				p.Sleep(100)
+			})
+		}
+		e.Parallelize(1, workers, 500)
+		return e.Run()
+	}
+	ref := run(1)
+	if ref == nil {
+		t.Fatal("reference run did not stop")
+	}
+	for _, w := range []int{2, 4} {
+		if got := run(w); got == nil || got.Error() != ref.Error() {
+			t.Fatalf("workers=%d: got %v, want %v", w, got, ref)
+		}
+	}
+}
