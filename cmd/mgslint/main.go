@@ -54,12 +54,24 @@ func main() {
 		return
 	}
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVet(args[0]))
 	}
-	os.Exit(runStandalone(args, *jsonOut))
+	os.Exit(runStandalone(args, *jsonOut, *sarifOut))
+}
+
+// inModule reports whether the import path (possibly a test variant
+// like "mgs/internal/sim [mgs/internal/sim.test]") belongs to the mgs
+// module — the only packages whose facts the analyzers consult.
+func inModule(path string) bool {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	return path == "mgs" || strings.HasPrefix(path, "mgs/")
 }
 
 // printVersion answers -V=full. cmd/go parses "<name> version <...>"
@@ -85,7 +97,10 @@ func printFlagDefs() {
 		Bool  bool
 		Usage string
 	}
-	defs := []flagDef{{Name: "json", Bool: true, Usage: "emit diagnostics as a JSON array on stdout"}}
+	defs := []flagDef{
+		{Name: "json", Bool: true, Usage: "emit diagnostics as a JSON array on stdout"},
+		{Name: "sarif", Bool: true, Usage: "emit diagnostics as a SARIF 2.1.0 log on stdout"},
+	}
 	json.NewEncoder(os.Stdout).Encode(defs)
 }
 
@@ -103,6 +118,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -120,16 +136,17 @@ func runVet(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "mgslint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// cmd/go requires the facts file to exist even though mgslint's
-	// analyzers export none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
-			return 1
+	// Packages outside the mgs module carry no //mgs annotations and no
+	// facts the analyzers consult; cmd/go still requires the vetx file
+	// to exist, so give it an empty one without type-checking.
+	if !inModule(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+				return 1
+			}
 		}
-	}
-	if cfg.VetxOnly {
-		return 0 // analyzed only for facts needed by dependents: nothing to do
+		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -161,10 +178,42 @@ func runVet(cfgPath string) int {
 	if err != nil {
 		return typecheckFailed(cfg, err)
 	}
-	diags, err := lint.RunPackage(fset, files, pkg, info)
+	// Dependency facts come from the .vetx files cmd/go already built
+	// (it schedules units in dependency order, threading outputs through
+	// PackageVetx).
+	imported := func(path string) *analysis.PackageFacts {
+		file, ok := cfg.PackageVetx[path]
+		if !ok {
+			return nil
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil
+		}
+		pf, err := analysis.DecodeFacts(data)
+		if err != nil {
+			return nil
+		}
+		return pf
+	}
+	diags, facts, err := lint.RunPackage(fset, files, pkg, info, imported)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mgslint: %s: %v\n", cfg.ImportPath, err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		data, err := analysis.EncodeFacts(facts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // analyzed only for the facts dependents need
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
@@ -216,45 +265,37 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
-func runStandalone(patterns []string, jsonOut bool) int {
+func runStandalone(patterns []string, jsonOut, sarifOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	// Compile every dependency once and harvest export data; the build
-	// cache makes repeat runs cheap.
+	// One -deps pass compiles every dependency (harvesting export data
+	// for type-checking) and yields the packages in dependency order, so
+	// each module package's facts exist before any dependent needs them.
+	// DepOnly marks dependencies that did not match the patterns: they
+	// are analyzed for facts but their diagnostics are not reported.
+	type listPkg struct {
+		ImportPath string
+		Dir        string
+		GoFiles    []string
+		Export     string
+		Standard   bool
+		DepOnly    bool
+	}
 	exports := map[string]string{}
-	type exportPkg struct{ ImportPath, Export string }
-	if err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...),
+	var pkgs []listPkg
+	if err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...),
 		func(dec *json.Decoder) error {
-			var p exportPkg
+			var p listPkg
 			if err := dec.Decode(&p); err != nil {
 				return err
 			}
 			if p.Export != "" {
 				exports[p.ImportPath] = p.Export
 			}
-			return nil
-		}); err != nil {
-		fmt.Fprintf(os.Stderr, "mgslint: %v\n", err)
-		return 1
-	}
-
-	type targetPkg struct {
-		ImportPath string
-		Dir        string
-		GoFiles    []string
-		Standard   bool
-	}
-	var targets []targetPkg
-	if err := goList(append([]string{"-json=ImportPath,Dir,GoFiles,Standard"}, patterns...),
-		func(dec *json.Decoder) error {
-			var p targetPkg
-			if err := dec.Decode(&p); err != nil {
-				return err
-			}
-			if !p.Standard {
-				targets = append(targets, p)
+			if !p.Standard && inModule(p.ImportPath) {
+				pkgs = append(pkgs, p)
 			}
 			return nil
 		}); err != nil {
@@ -271,9 +312,12 @@ func runStandalone(patterns []string, jsonOut bool) int {
 		return os.Open(file)
 	})}
 
+	facts := map[string]*analysis.PackageFacts{}
+	imported := func(path string) *analysis.PackageFacts { return facts[path] }
+
 	exit := 0
 	var all []jsonDiag
-	for _, t := range targets {
+	for _, t := range pkgs {
 		var files []*ast.File
 		parseOK := true
 		for _, name := range t.GoFiles {
@@ -296,10 +340,14 @@ func runStandalone(patterns []string, jsonOut bool) int {
 			exit = 1
 			continue
 		}
-		diags, err := lint.RunPackage(fset, files, pkg, info)
+		diags, pf, err := lint.RunPackage(fset, files, pkg, info, imported)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mgslint: %s: %v\n", t.ImportPath, err)
 			exit = 1
+			continue
+		}
+		facts[t.ImportPath] = pf
+		if t.DepOnly {
 			continue
 		}
 		for _, d := range diags {
@@ -307,14 +355,17 @@ func runStandalone(patterns []string, jsonOut bool) int {
 		}
 	}
 
-	if jsonOut {
+	switch {
+	case sarifOut:
+		writeSARIF(os.Stdout, all)
+	case jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
 		if all == nil {
 			all = []jsonDiag{}
 		}
 		enc.Encode(all)
-	} else {
+	default:
 		for _, d := range all {
 			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 		}
@@ -323,6 +374,64 @@ func runStandalone(patterns []string, jsonOut bool) int {
 		exit = 1
 	}
 	return exit
+}
+
+// writeSARIF emits the diagnostics as a minimal SARIF 2.1.0 log — the
+// format code-scanning UIs ingest. One run, one rule per analyzer,
+// every diagnostic an error-level result.
+func writeSARIF(w io.Writer, diags []jsonDiag) {
+	type sarifMsg struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID   string   `json:"id"`
+		Desc sarifMsg `json:"shortDescription"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region sarifRegion `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMsg        `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	rules := []sarifRule{{ID: "mgslint-allow", Desc: sarifMsg{Text: "defective //mgslint:allow comment (unjustified, unknown analyzer, or dead)"}}}
+	for _, a := range lint.All() {
+		rules = append(rules, sarifRule{ID: a.Name, Desc: sarifMsg{Text: a.Doc}})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		r := sarifResult{RuleID: d.Analyzer, Level: "error", Message: sarifMsg{Text: d.Message}}
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = filepath.ToSlash(d.File)
+		loc.PhysicalLocation.Region = sarifRegion{StartLine: d.Line, StartColumn: d.Col}
+		r.Locations = []sarifLocation{loc}
+		results = append(results, r)
+	}
+	log := map[string]any{
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{"driver": map[string]any{
+				"name":  "mgslint",
+				"rules": rules,
+			}},
+			"results": results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(log)
 }
 
 func toJSONDiag(fset *token.FileSet, d analysis.Diagnostic) jsonDiag {

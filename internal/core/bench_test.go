@@ -88,3 +88,29 @@ func TestComputeDiffZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestDiffPoolRoundTripZeroAllocs pins the full protocol-path shape the
+// release and refresh handlers use: draw a pooled buffer, compute,
+// apply the diff to a home image, return the buffer. Once the pool is
+// warm the whole round trip allocates nothing — this is what lets the
+// lazy-release and update-refresh paths carry //mgs:noalloc.
+func TestDiffPoolRoundTripZeroAllocs(t *testing.T) {
+	for _, p := range diffPatterns {
+		twin, cur := diffPage(p.changed)
+		home := make([]byte, len(cur))
+		copy(home, twin)
+		// Warm: grow one pooled buffer to this pattern's high-water mark.
+		db := getDiffBuf()
+		db.Compute(twin, cur)
+		putDiffBuf(db)
+		allocs := testing.AllocsPerRun(100, func() {
+			db := getDiffBuf()
+			d := db.Compute(twin, cur)
+			d.Apply(home)
+			putDiffBuf(db)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: pooled diff round trip allocated %.1f times per op, want 0", p.name, allocs)
+		}
+	}
+}

@@ -24,19 +24,20 @@ type Diff []DiffRange
 // (offsets and payloads). The model checker folds it into message
 // labels so in-flight diffs with different contents never hash to the
 // same pending-event multiset; it is never computed on normal runs.
+//
+//mgs:noalloc
 func (d Diff) Checksum() uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	step := func(b byte) { h = (h ^ uint64(b)) * prime64 }
 	for _, r := range d {
 		for sh := 0; sh < 64; sh += 8 {
-			step(byte(uint64(r.Off) >> sh))
+			h = (h ^ (uint64(r.Off) >> sh & 0xff)) * prime64
 		}
 		for _, b := range r.Data {
-			step(b)
+			h = (h ^ uint64(b)) * prime64
 		}
 	}
 	return h
@@ -72,6 +73,8 @@ type DiffBuf struct {
 // workload's high-water mark. The ranges produced are byte-identical
 // to a plain byte-at-a-time scan, so message sizes and protocol costs
 // are unchanged.
+//
+//mgs:noalloc
 func (b *DiffBuf) Compute(twin, cur []byte) Diff {
 	if len(twin) != len(cur) {
 		panic("core: twin/page size mismatch")
@@ -139,6 +142,8 @@ func ComputeDiff(twin, cur []byte) Diff {
 }
 
 // Apply merges the diff into dst (the home copy).
+//
+//mgs:noalloc
 func (d Diff) Apply(dst []byte) {
 	for _, r := range d {
 		copy(dst[r.Off:r.Off+len(r.Data)], r.Data)
@@ -147,6 +152,8 @@ func (d Diff) Apply(dst []byte) {
 
 // Bytes is the payload size of the diff: changed data plus a fixed
 // per-range header of hdr bytes.
+//
+//mgs:noalloc
 func (d Diff) Bytes(hdr int) int {
 	n := 0
 	for _, r := range d {
@@ -156,4 +163,6 @@ func (d Diff) Bytes(hdr int) int {
 }
 
 // Len reports the number of ranges.
+//
+//mgs:noalloc
 func (d Diff) Len() int { return len(d) }

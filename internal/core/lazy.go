@@ -78,6 +78,7 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 		sp := s.server(v)
 		isHome := cp.ssmp == s.ssmpOf(sp.homeProc)
 		var diff Diff
+		var db *DiffBuf
 		bytes := c.CtrlBytes
 		if isHome {
 			// In-place home writes: nothing travels, but the version must
@@ -87,7 +88,8 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 			s.st.Count("lrel.home", 1)
 		} else {
 			s.spend(p, stats.MGS, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
-			diff = ComputeDiff(cp.twin, cp.frame.Data)
+			db = getDiffBuf()
+			diff = db.Compute(cp.twin, cp.frame.Data)
 			bytes += diff.Bytes(c.DiffHdrByte)
 			// Demote to a read copy: reads keep hitting the local frame,
 			// the next write upgrades and re-twins.
@@ -100,9 +102,10 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 		s.emitPage(p.Clock(), p.ID, v, "LREL", "proc %d home=%v diff=%d ver=%d", p.ID, isHome, len(diff), sp.version)
 		s.spend(p, stats.MGS, s.net.SendCost())
 		cp.relInFlight++
-		cpRef, spRef, dRef := cp, sp, diff
+		cpRef, spRef, dRef, dbRef := cp, sp, diff, db
 		s.net.Send(p.ID, sp.homeProc, p.Clock(), bytes, c.RelWork, func(at sim.Time) {
 			s.mergeLazy(spRef, dRef, at, func(newVer int64, at2 sim.Time) {
+				putDiffBuf(dbRef)
 				s.net.Send(spRef.homeProc, p.ID, at2, c.CtrlBytes, 0, func(at3 sim.Time) {
 					if cpRef.gen == fetchGen && newVer == fetchVer+1 {
 						// Same copy incarnation, and only our own merge
@@ -215,7 +218,8 @@ func (s *System) AcquireSync(p *sim.Proc) {
 			// SSMP ordering survives the teardown).
 			s.st.Count("acq.flush", 1)
 			s.spend(p, stats.MGS, sim.Time(s.cfg.PageSize)*c.DiffPerByte)
-			diff := ComputeDiff(cp.twin, cp.frame.Data)
+			db := getDiffBuf()
+			diff := db.Compute(cp.twin, cp.frame.Data)
 			s.shootLocal(ss, cp, p)
 			// No CleanPage ran here: the frame may still have cached
 			// lines, so it must not be recycled (a recycled frame's ID
@@ -228,6 +232,7 @@ func (s *System) AcquireSync(p *sim.Proc) {
 			s.net.Send(p.ID, sp.homeProc, p.Clock(),
 				c.CtrlBytes+diff.Bytes(c.DiffHdrByte), c.RelWork, func(at sim.Time) {
 					s.mergeLazy(spRef, diff, at, func(_ int64, at2 sim.Time) {
+						putDiffBuf(db)
 						s.net.Send(spRef.homeProc, p.ID, at2, c.CtrlBytes, 0,
 							func(at3 sim.Time) {
 								s.lazyRelDone(cpRef, at3)

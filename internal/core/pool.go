@@ -38,8 +38,11 @@ var diffBufPool = sync.Pool{New: func() any { return new(DiffBuf) }}
 
 // getDiffBuf draws a reusable diff buffer. Pair with putDiffBuf once
 // the diff computed from it has been applied (or discarded).
+//
+//mgs:noalloc
 func getDiffBuf() *DiffBuf { return diffBufPool.Get().(*DiffBuf) }
 
+//mgs:noalloc
 func putDiffBuf(b *DiffBuf) {
 	if b != nil {
 		diffBufPool.Put(b)

@@ -739,10 +739,12 @@ func (s *System) sendRefresh(sp *serverPage, r int, img []byte, at sim.Time) {
 					at3 = s.net.Extend(s.clientOwner(cp), at3,
 						c.MergeWork+sim.Time(s.cfg.PageSize)*c.ApplyPerByte)
 					if cp.state == PWrite && cp.twin != nil {
-						local := ComputeDiff(cp.twin, cp.frame.Data)
+						db := getDiffBuf()
+						local := db.Compute(cp.twin, cp.frame.Data)
 						cp.frame.CopyFrom(img)
 						local.Apply(cp.frame.Data)
 						copy(cp.twin, img)
+						putDiffBuf(db)
 					} else {
 						cp.frame.CopyFrom(img)
 					}

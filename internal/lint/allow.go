@@ -18,6 +18,13 @@ import (
 // trailing and line-above placement work. The justification after the
 // "--" separator is mandatory: an allow that does not say *why* the
 // exception is sound is itself a diagnostic, and suppresses nothing.
+//
+// Allows are also accountable: one that no longer suppresses anything —
+// the code it excused was fixed or deleted — is a "dead allow"
+// diagnostic, so the waiver list can only shrink ahead of the code it
+// documents, never outlive it. Deadness is only decided when every
+// analyzer the comment names actually ran (a single-analyzer test run
+// must not condemn another analyzer's allows).
 
 const allowPrefix = "//mgslint:allow"
 
@@ -30,9 +37,21 @@ type allowSite struct {
 	badNames  []string // names not matching any registered analyzer
 }
 
-// parseAllows extracts every //mgslint:allow comment in files.
-func parseAllows(fset *token.FileSet, files []*ast.File) []allowSite {
-	var sites []allowSite
+// AllowList holds one package's parsed //mgslint:allow comments and
+// tracks which of them earned their keep. Usage accrues through Permit
+// — called both by analyzers consulting the escape hatch mid-analysis
+// (a discharged noalloc call edge) and by Filter suppressing emitted
+// diagnostics — so dead-allow detection sees every consultation, not
+// just the ones that reached a report.
+type AllowList struct {
+	fset  *token.FileSet
+	sites []allowSite
+	used  []bool
+}
+
+// ParseAllowList extracts every //mgslint:allow comment in files.
+func ParseAllowList(fset *token.FileSet, files []*ast.File) *AllowList {
+	al := &AllowList{fset: fset}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -61,11 +80,12 @@ func parseAllows(fset *token.FileSet, files []*ast.File) []allowSite {
 						site.badNames = append(site.badNames, n)
 					}
 				}
-				sites = append(sites, site)
+				al.sites = append(al.sites, site)
 			}
 		}
 	}
-	return sites
+	al.used = make([]bool, len(al.sites))
+	return al
 }
 
 func knownAnalyzer(name string) bool {
@@ -77,50 +97,90 @@ func knownAnalyzer(name string) bool {
 	return false
 }
 
-// covers reports whether the site suppresses a diagnostic from the
-// named analyzer at (file, line).
-func (s *allowSite) covers(name, file string, line int) bool {
+// coversAt reports whether this well-formed site sits on commentLine of
+// file and names the analyzer.
+func (s *allowSite) coversAt(name, file string, commentLine int) bool {
 	if !s.justified || len(s.badNames) > 0 {
 		return false
 	}
 	if !s.analyzers["all"] && !s.analyzers[name] {
 		return false
 	}
-	return s.file == file && (s.line == line || s.line == line-1)
+	return s.file == file && s.line == commentLine
 }
 
-// FilterAllowed drops diagnostics covered by a well-formed allow
-// comment and appends one "mgslint-allow" diagnostic per malformed
-// comment (missing justification or unknown analyzer name).
-func FilterAllowed(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
-	sites := parseAllows(fset, files)
-	var out []analysis.Diagnostic
-	for _, d := range diags {
-		p := fset.Position(d.Pos)
-		suppressed := false
-		for i := range sites {
-			if sites[i].covers(d.Analyzer, p.Filename, p.Line) {
-				suppressed = true
-				break
+// Permit reports whether a well-formed allow covers the named analyzer
+// at pos, marking the covering site used. A trailing comment on the
+// diagnostic's own line is credited before one on the line above, so
+// consecutive lines each carrying their own allow both stay live. This
+// is the analysis.Pass.Allow hook.
+func (al *AllowList) Permit(analyzer string, pos token.Pos) bool {
+	p := al.fset.Position(pos)
+	for _, commentLine := range []int{p.Line, p.Line - 1} {
+		for i := range al.sites {
+			if al.sites[i].coversAt(analyzer, p.Filename, commentLine) {
+				al.used[i] = true
+				return true
 			}
 		}
-		if !suppressed {
+	}
+	return false
+}
+
+// Filter drops diagnostics covered by a well-formed allow comment and
+// appends one "mgslint-allow" diagnostic per defective comment: missing
+// justification, unknown analyzer name, or — when every analyzer the
+// comment names is in ran — a dead allow that suppressed nothing.
+func (al *AllowList) Filter(diags []analysis.Diagnostic, ran []string) []analysis.Diagnostic {
+	ranSet := map[string]bool{}
+	for _, r := range ran {
+		ranSet[r] = true
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if !al.Permit(d.Analyzer, d.Pos) {
 			out = append(out, d)
 		}
 	}
-	for _, s := range sites {
+	for i, s := range al.sites {
 		if !s.justified {
 			out = append(out, analysis.Diagnostic{
 				Pos:      s.pos,
 				Analyzer: "mgslint-allow",
 				Message:  "mgslint:allow without a justification (write `//mgslint:allow <analyzer> -- <why this is sound>`); nothing is suppressed",
 			})
+			continue
 		}
-		for _, n := range s.badNames {
+		if len(s.badNames) > 0 {
+			for _, n := range s.badNames {
+				out = append(out, analysis.Diagnostic{
+					Pos:      s.pos,
+					Analyzer: "mgslint-allow",
+					Message:  fmt.Sprintf("mgslint:allow names unknown analyzer %q; nothing is suppressed", n),
+				})
+			}
+			continue
+		}
+		if al.used[i] {
+			continue
+		}
+		decided := true
+		for n := range s.analyzers {
+			if n == "all" {
+				for _, a := range All() {
+					if !ranSet[a.Name] {
+						decided = false
+					}
+				}
+			} else if !ranSet[n] {
+				decided = false
+			}
+		}
+		if decided {
 			out = append(out, analysis.Diagnostic{
 				Pos:      s.pos,
 				Analyzer: "mgslint-allow",
-				Message:  fmt.Sprintf("mgslint:allow names unknown analyzer %q; nothing is suppressed", n),
+				Message:  "dead mgslint:allow: it suppresses no diagnostic and discharges no analysis; remove it",
 			})
 		}
 	}

@@ -39,9 +39,41 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts holds the current package's computed facts. Drivers populate
+	// it (via lint.ComputeFacts) before any analyzer runs; it may be nil
+	// for analyzers that do not consult facts.
+	Facts *PackageFacts
+
+	// ImportedFacts resolves the facts of an imported package by its
+	// canonical import path, or nil when unknown (standard library,
+	// packages outside the module). May itself be nil.
+	ImportedFacts func(path string) *PackageFacts
+
+	// Allow consults the //mgslint:allow escape hatch at pos for the
+	// named analyzer and, when covered, marks the allow site used (so
+	// dead-allow detection does not flag it). Analyzers call it when a
+	// would-be finding gates further traversal — a suppressed allocation
+	// must not poison every transitive caller. May be nil.
+	Allow func(analyzer string, pos token.Pos) bool
+
 	// Report records one diagnostic. Drivers set it; analyzers usually
 	// call Reportf instead.
 	Report func(Diagnostic)
+}
+
+// Allowed reports whether the escape hatch covers (analyzer, pos),
+// tolerating a nil Allow hook.
+func (p *Pass) Allowed(analyzer string, pos token.Pos) bool {
+	return p.Allow != nil && p.Allow(analyzer, pos)
+}
+
+// FactsFor resolves facts for an imported package path, tolerating a
+// nil ImportedFacts hook.
+func (p *Pass) FactsFor(path string) *PackageFacts {
+	if p.ImportedFacts == nil {
+		return nil
+	}
+	return p.ImportedFacts(path)
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -42,9 +42,10 @@ import (
 func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := &loader{
-		root: filepath.Join(root, "src"),
-		fset: token.NewFileSet(),
-		pkgs: map[string]*fixturePkg{},
+		root:  filepath.Join(root, "src"),
+		fset:  token.NewFileSet(),
+		pkgs:  map[string]*fixturePkg{},
+		facts: map[string]*analysis.PackageFacts{},
 	}
 	l.std = importer.ForCompiler(l.fset, "source", nil)
 	for _, path := range pkgPaths {
@@ -52,7 +53,7 @@ func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		check(t, l.fset, a, p)
+		check(t, l, a, p)
 	}
 }
 
@@ -60,13 +61,15 @@ type fixturePkg struct {
 	files []*ast.File
 	pkg   *types.Package
 	info  *types.Info
+	allow *lint.AllowList
 }
 
 type loader struct {
-	root string
-	fset *token.FileSet
-	std  types.Importer
-	pkgs map[string]*fixturePkg
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	pkgs  map[string]*fixturePkg
+	facts map[string]*analysis.PackageFacts
 }
 
 // Import lets the loader serve as the types.Importer for fixture
@@ -113,8 +116,17 @@ func (l *loader) load(path string) (*fixturePkg, error) {
 		return nil, err
 	}
 	p := &fixturePkg{files: files, pkg: pkg, info: info}
+	// Imports resolve recursively through l.Import, so by the time this
+	// package type-checks, every fixture dependency already exported its
+	// facts — the same dependency-order contract cmd/mgslint upholds.
+	p.allow = lint.ParseAllowList(l.fset, files)
+	l.facts[path] = lint.ComputeFacts(l.fset, files, pkg, info, l.imported, p.allow.Permit)
 	l.pkgs[path] = p
 	return p, nil
+}
+
+func (l *loader) imported(path string) *analysis.PackageFacts {
+	return l.facts[path]
 }
 
 // want is one expectation: a pattern that must match a diagnostic
@@ -166,21 +178,27 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 	return wants
 }
 
-func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, p *fixturePkg) {
+func check(t *testing.T, l *loader, a *analysis.Analyzer, p *fixturePkg) {
 	t.Helper()
+	fset := l.fset
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     p.files,
-		Pkg:       p.pkg,
-		TypesInfo: p.info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:      a,
+		Fset:          fset,
+		Files:         p.files,
+		Pkg:           p.pkg,
+		TypesInfo:     p.info,
+		ImportedFacts: l.imported,
+		Facts:         l.facts[p.pkg.Path()],
+		Allow:         p.allow.Permit,
+		Report:        func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer error: %v", p.pkg.Path(), err)
 	}
-	diags = lint.FilterAllowed(fset, p.files, diags)
+	// Dead-allow detection is scoped to the one analyzer under test:
+	// fixture allows naming other analyzers stay undecided.
+	diags = p.allow.Filter(diags, []string{a.Name})
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 
 	wants := parseWants(t, fset, p.files)

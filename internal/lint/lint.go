@@ -9,7 +9,9 @@ import (
 	"mgs/internal/lint/analysis"
 )
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the five
+// intra-function analyzers first, then the three interprocedural ones
+// layered on the call graph and cross-package facts.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		NoWallTime,
@@ -17,36 +19,55 @@ func All() []*analysis.Analyzer {
 		MapRange,
 		ChargeCost,
 		EngineCtx,
+		ShardSafe,
+		NoAlloc,
+		DetFlow,
 	}
 }
 
-// RunPackage applies every analyzer in All to one type-checked package,
-// applies the //mgslint:allow escape hatch, and returns the surviving
-// diagnostics sorted by position. This is the single entry point shared
-// by cmd/mgslint's two driver modes.
-func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+// RunPackage applies every analyzer in All to one type-checked package
+// and returns the surviving diagnostics sorted by position, plus the
+// package's exported fact summary for dependents. imported resolves the
+// facts of packages already analyzed (drivers call RunPackage in
+// dependency order); nil means no cross-package facts are available and
+// the interprocedural analyzers stay conservative at package
+// boundaries.
+//
+// Fact computation runs first, through the same //mgslint:allow list
+// the analyzers use, so an allow consulted only while summarizing (an
+// excused allocation that must not poison callers) still counts as
+// live for dead-allow detection.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	imported func(path string) *analysis.PackageFacts) ([]analysis.Diagnostic, *analysis.PackageFacts, error) {
+	al := ParseAllowList(fset, files)
+	facts := ComputeFacts(fset, files, pkg, info, imported, al.Permit)
 	var diags []analysis.Diagnostic
+	var ran []string
 	for _, a := range All() {
 		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Analyzer:      a,
+			Fset:          fset,
+			Files:         files,
+			Pkg:           pkg,
+			TypesInfo:     info,
+			Facts:         facts,
+			ImportedFacts: imported,
+			Allow:         al.Permit,
+			Report:        func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		ran = append(ran, a.Name)
 	}
-	diags = FilterAllowed(fset, files, diags)
+	diags = al.Filter(diags, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags, facts, nil
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers

@@ -31,3 +31,18 @@ func TestEngineCtx(t *testing.T) {
 	analysistest.Run(t, "testdata/enginectx", lint.EngineCtx,
 		"mgs/internal/sim", "mgs/internal/core")
 }
+
+func TestShardSafe(t *testing.T) {
+	analysistest.Run(t, "testdata/shardsafe", lint.ShardSafe,
+		"mgs/internal/msync", "mgs/internal/core")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/noalloc", lint.NoAlloc,
+		"mgs/internal/mem", "mgs/internal/core")
+}
+
+func TestDetFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/detflow", lint.DetFlow,
+		"mgs/internal/cache", "mgs/internal/core")
+}

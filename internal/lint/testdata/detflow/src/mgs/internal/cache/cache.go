@@ -1,0 +1,42 @@
+// Package cache exports the taint facts the core fixture consumes:
+// map-ordered returns, parameter propagation, and sink parameters.
+package cache
+
+import (
+	"sort"
+
+	"mgs/internal/sim"
+)
+
+// Keys returns map keys in iteration order: the exported fact carries
+// the map-order taint to every caller.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts — the sort cleanses map-order taint,
+// so the fact is clean.
+func SortedKeys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// First propagates its parameter to its return value: PropParams pins
+// the flow without tainting anything by itself.
+func First(xs []int) int {
+	return xs[0]
+}
+
+// Charge feeds its second parameter into charged cycles: SinkParams
+// exports the obligation to every caller.
+func Charge(p *sim.Proc, d sim.Time) {
+	p.Advance(d)
+}

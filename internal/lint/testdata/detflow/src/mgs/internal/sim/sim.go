@@ -1,0 +1,15 @@
+// Package sim is a miniature stand-in for the real internal/sim, just
+// enough surface for the detflow fixtures to type-check against.
+package sim
+
+type Time int64
+
+type Engine struct{ now Time }
+
+func (e *Engine) Now() Time            { return e.now }
+func (e *Engine) At(t Time, fn func()) {}
+
+type Proc struct{ ID int }
+
+func (p *Proc) Advance(d Time) Time { return d }
+func (p *Proc) Sleep(d Time)        {}

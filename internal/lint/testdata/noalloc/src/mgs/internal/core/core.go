@@ -1,0 +1,20 @@
+// Package core exercises the cross-package leg of noalloc: callee
+// verdicts arrive as exported facts, not re-analysis.
+package core
+
+import "mgs/internal/mem"
+
+// Fast calls a function whose exported fact proves it clean.
+//
+//mgs:noalloc
+func Fast(a, b int) int {
+	return mem.Clean(a, b)
+}
+
+// Slow calls across the package boundary into an allocating function;
+// the diagnostic lands at the call site and carries the imported cause.
+//
+//mgs:noalloc
+func Slow(n int) []int {
+	return mem.Dirty(n) // want `call to mem\.Dirty allocates \(.*make allocates`
+}

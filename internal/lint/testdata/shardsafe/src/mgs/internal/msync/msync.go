@@ -1,0 +1,123 @@
+// Package msync mirrors the PR 6 lock spine: maps that dispatchers on
+// every engine shard reach concurrently.
+package msync
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mgs/internal/sim"
+)
+
+// System is reachable from every shard's dispatcher.
+//
+//mgs:shared
+type System struct {
+	Mu sync.Mutex
+
+	locks map[int]int //mgs:guardedby Mu
+
+	epoch int64 //mgs:atomic
+
+	owner int //mgs:shardpinned only the home SSMP's AtOn-pinned handlers touch it
+
+	n int
+}
+
+// NewSystem writes fields of a value that has not been published yet:
+// construction, not sharing.
+func NewSystem() *System {
+	s := &System{}
+	s.locks = map[int]int{}
+	s.n = 1
+	return s
+}
+
+// LockHomed is the PR 6 fix shape: the map insert happens under Mu.
+func (s *System) LockHomed(k, v int) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.locks[k] = v
+}
+
+// LockRacy re-introduces the PR 6 bug: an exported root writing the
+// guarded map bare.
+func (s *System) LockRacy(k, v int) {
+	s.locks[k] = v // want `write to msync\.System\.locks \(//mgs:guardedby Mu\) without Mu\.Lock\(\) held on the path from msync\.\(System\)\.LockRacy`
+}
+
+// insert leaves the guard to its caller.
+func (s *System) insert(k, v int) {
+	s.locks[k] = v // want `without Mu\.Lock\(\) held on the path from msync\.\(System\)\.Release`
+}
+
+// Release reaches insert's write with nothing held: the residual
+// survives to this root.
+func (s *System) Release(k int) {
+	s.insert(k, 0)
+}
+
+// Homed discharges insert's residual by holding the guard on the path.
+func (s *System) Homed(k int) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.insert(k, 1)
+}
+
+// Drop mutates the guarded map through the delete builtin.
+func (s *System) Drop(k int) {
+	delete(s.locks, k) // want `without Mu\.Lock\(\) held on the path from msync\.\(System\)\.Drop`
+}
+
+// Deposit requires the caller to hold Mu — a documented API contract.
+// The allow silences the local report, but the Unguarded fact still
+// exports, so cross-package callers are checked (see the core fixture).
+func (s *System) Deposit(k, v int) {
+	s.locks[k] = v //mgslint:allow shardsafe -- API contract: caller holds Mu; the Unguarded fact still exports to check them
+}
+
+// Rearm holds Mu while scheduling, but the callback runs later on its
+// own shard with nothing held: locks do not carry into scheduled
+// literals.
+func (s *System) Rearm(e *sim.Engine, k int) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	e.At(1, func() {
+		s.locks[k] = 2 // want `without Mu\.Lock\(\) held on the path from scheduled callback at .*msync\.go:\d+`
+	})
+}
+
+// Bump writes the //mgs:atomic field without sync/atomic.
+func (s *System) Bump() {
+	s.epoch = 1 // want `plain write to //mgs:atomic field System\.epoch`
+	atomic.StoreInt64(&s.epoch, 2)
+}
+
+// Count writes a field of a //mgs:shared struct that carries no
+// annotation at all.
+func (s *System) Count() {
+	s.n++ // want `write to unannotated field System\.n of //mgs:shared struct outside construction`
+}
+
+// Pin writes the shard-pinned field: the audit justification stands in
+// for a mechanical check.
+func (s *System) Pin(owner int) {
+	s.owner = owner
+}
+
+var seq int
+
+var pool = sync.Pool{}
+
+func init() { seq = 1 }
+
+// Next writes a package-level var from a deterministic package.
+func Next() int {
+	seq++ // want `write to package-level var seq from a deterministic package`
+	return seq
+}
+
+// Reset reassigns an internally synchronized type: exempt.
+func Reset() {
+	pool = sync.Pool{}
+}

@@ -1,0 +1,16 @@
+// Package sim is a miniature stand-in for the real internal/sim, just
+// enough surface for the shardsafe fixtures to type-check against.
+package sim
+
+type Time int64
+
+type Engine struct{ now Time }
+
+func (e *Engine) Now() Time                       { return e.now }
+func (e *Engine) At(t Time, fn func())            {}
+func (e *Engine) AtOn(sh int, t Time, fn func())  {}
+func (e *Engine) After(d Time, fn func())         {}
+
+type Proc struct{ ID int }
+
+func NewProc(id int, body func(*Proc)) *Proc { return &Proc{ID: id} }

@@ -83,3 +83,21 @@ func TestAllocatorUniqueIDs(t *testing.T) {
 		t.Fatalf("Allocated() = %d, want 100", a.Allocated())
 	}
 }
+
+// TestFrameAccessZeroAllocs pins the //mgs:noalloc contract of the word
+// accessors and the DMA copy — the storage behind every simulated
+// Load/Store.
+func TestFrameAccessZeroAllocs(t *testing.T) {
+	f := NewFrame(1, 256)
+	src := make([]byte, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Store64(8, 0xdeadbeef)
+		_ = f.Load64(8)
+		f.Store32(16, 7)
+		_ = f.Load32(16)
+		f.CopyFrom(src)
+	})
+	if allocs != 0 {
+		t.Errorf("frame access allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -8,15 +8,17 @@ import (
 
 // Barrier is one MGS tree barrier: a local combine per SSMP, then one
 // COMBINE and one RELEASE message per SSMP through the barrier's home.
+//
+//mgs:shared
 type Barrier struct {
 	m    *System
 	id   int
 	home int // global processor hosting the top of the tree
 
-	local   []localBarrier
-	arrived int // SSMPs combined this episode
+	local   []localBarrier //mgs:shardpinned each combining node is touched only by its own SSMP's shard
+	arrived int            //mgs:shardpinned home-side handlers only; SSMPs combined this episode
 
-	episodes int64
+	episodes int64 //mgs:shardpinned home-side handlers only
 }
 
 // localBarrier is the per-SSMP combining node.

@@ -10,26 +10,28 @@ import (
 )
 
 // Lock is one MGS token-based distributed lock.
+//
+//mgs:shared
 type Lock struct {
 	m    *System
 	id   int
 	home int // global processor hosting the global lock
 
-	local []localLock
+	local []localLock //mgs:shardpinned each element is touched only by its own SSMP's shard
 
 	// Global-lock state: lives at home, mutated only by home-side
 	// handlers — under the parallel dispatcher that makes it shard-local
 	// to the home's shard.
-	tokenOwner int   // SSMP currently holding the token
-	reqQueue   []int // SSMPs waiting for the token, FIFO
-	demandOut  bool  // a DEMAND message is outstanding
+	tokenOwner int   //mgs:shardpinned home-side handlers only
+	reqQueue   []int //mgs:shardpinned home-side handlers only; FIFO of waiting SSMPs
+	demandOut  bool  //mgs:shardpinned home-side handlers only; a DEMAND is outstanding
 
 	// hits/total update atomically: acquires on different SSMPs run on
-	// different shards concurrently. heldSince needs no atomics — it is
-	// only touched by the token-holding SSMP, and token transfer crosses
-	// a window barrier.
-	hits, total int64
-	heldSince   sim.Time
+	// different shards concurrently.
+	hits  int64 //mgs:atomic
+	total int64 //mgs:atomic
+
+	heldSince sim.Time //mgs:shardpinned only the token-holding SSMP touches it; token transfer crosses a window barrier
 }
 
 // localLock is the per-SSMP half of a distributed lock.
@@ -53,8 +55,10 @@ func (m *System) Lock(id int) *Lock { return m.LockHomed(id, id%m.p) }
 // pure function of (id, home), so whichever racer registers it wins
 // without affecting the simulation.
 func (m *System) LockHomed(id, home int) *Lock {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// The ci:race-sentinel markers let CI's mutation step delete exactly
+	// these two lines and prove shardsafe re-finds the PR 6 race.
+	m.mu.Lock()         // ci:race-sentinel
+	defer m.mu.Unlock() // ci:race-sentinel
 	if l, ok := m.locks[id]; ok {
 		return l
 	}

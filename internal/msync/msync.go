@@ -47,6 +47,8 @@ func DefaultCosts() Costs {
 }
 
 // System manages the locks and barriers of one machine.
+//
+//mgs:shared
 type System struct {
 	eng   *sim.Engine
 	dsm   *core.System
@@ -60,8 +62,8 @@ type System struct {
 	// processors on different shards of the parallel dispatcher can
 	// reach a primitive's first use concurrently.
 	mu       sync.Mutex
-	locks    map[int]*Lock
-	barriers map[int]*Barrier
+	locks    map[int]*Lock    //mgs:guardedby mu
+	barriers map[int]*Barrier //mgs:guardedby mu
 
 	// Obs is the observability spine; nil or sink-less keeps the trace
 	// path structurally detached.

@@ -21,11 +21,13 @@ import (
 // deterministic because the committed event set is schedule-independent
 // and addition commutes (histogram buckets likewise: each observation
 // lands in a fixed bucket).
+//
+//mgs:shared
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]func() int64
-	hists    map[string]*Histogram
+	counters map[string]*Counter     //mgs:guardedby mu
+	gauges   map[string]func() int64 //mgs:guardedby mu
+	hists    map[string]*Histogram   //mgs:guardedby mu
 }
 
 // NewRegistry returns an empty registry.
@@ -38,12 +40,20 @@ func NewRegistry() *Registry {
 }
 
 // Counter is a monotonically growing event count.
-type Counter struct{ v int64 }
+//
+//mgs:shared
+type Counter struct {
+	v int64 //mgs:atomic
+}
 
 // Add increments the counter.
+//
+//mgs:noalloc
 func (c *Counter) Add(delta int64) { atomic.AddInt64(&c.v, delta) }
 
 // Value reads the counter.
+//
+//mgs:noalloc
 func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
 
 // Counter returns (creating if needed) the named counter.
@@ -81,14 +91,21 @@ var TimeBuckets = []int64{
 
 // Histogram counts observations into fixed buckets. Bounds[i] is the
 // inclusive upper edge of bucket i; one extra bucket holds overflows.
+//
+//mgs:shared
 type Histogram struct {
+	// bounds is fixed at registration and read-only afterwards: it
+	// deliberately carries no annotation, so any post-construction write
+	// trips the unannotated-shared-field check.
 	bounds []int64
-	counts []int64
-	sum    int64
-	n      int64
+	counts []int64 //mgs:atomic
+	sum    int64   //mgs:atomic
+	n      int64   //mgs:atomic
 }
 
 // Observe records one value.
+//
+//mgs:noalloc
 func (h *Histogram) Observe(v int64) {
 	atomic.AddInt64(&h.n, 1)
 	atomic.AddInt64(&h.sum, v)

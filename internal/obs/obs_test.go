@@ -265,3 +265,20 @@ func TestObserverProfilerLifecycle(t *testing.T) {
 		t.Fatal("Profiler() mismatch")
 	}
 }
+
+// TestMetricHotPathZeroAllocs pins the //mgs:noalloc contract of the
+// concurrent counting paths the parallel dispatcher's shards hit.
+func TestMetricHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	h := r.Histogram("wait", nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		_ = c.Value()
+		h.Observe(250)
+		h.Observe(5_000_000) // overflow bucket
+	})
+	if allocs != 0 {
+		t.Errorf("metric hot path allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -51,3 +51,20 @@ func BenchmarkTLBInsertEvict(b *testing.B) {
 		tlb.Insert(Page(64+i), Read)
 	}
 }
+
+// TestLookupZeroAllocs pins the //mgs:noalloc contract of the TLB hit
+// path: every simulated memory access goes through Lookup.
+func TestLookupZeroAllocs(t *testing.T) {
+	tlb := NewTLB(64)
+	for i := 0; i < 32; i++ {
+		tlb.Insert(Page(i), Read)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 40; i++ {
+			tlb.Lookup(Page(i))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TLB.Lookup allocated %.1f times per op, want 0", allocs)
+	}
+}
