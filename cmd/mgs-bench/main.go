@@ -127,6 +127,20 @@ func benchDiff(changed func(i int) bool) func(b *testing.B) {
 	}
 }
 
+// benchDiffOwned measures the throwaway form (core.ComputeDiff): scratch
+// from the pool, an exact-size owned clone out. Its contract is two
+// allocations per op — the clone's range headers and payload slab —
+// never the cold buffer's growth walk.
+func benchDiffOwned(b *testing.B) {
+	twin, cur := diffPage(func(i int) bool { return i%128 < 8 })
+	core.ComputeDiff(twin, cur) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diffSink = core.ComputeDiff(twin, cur)
+	}
+}
+
 var privSink vm.Priv
 
 func benchTLB(b *testing.B) {
@@ -280,6 +294,7 @@ func main() {
 			bench("ComputeDiffClean", benchDiff(func(int) bool { return false })),
 			bench("ComputeDiffSparse", benchDiff(func(i int) bool { return i%128 < 8 })),
 			bench("ComputeDiffDense", benchDiff(func(int) bool { return true })),
+			bench("ComputeDiffOwned", benchDiffOwned),
 			bench("EngineDispatch", benchDispatch),
 			bench("AccessFastPath", benchAccess),
 		},
@@ -287,8 +302,15 @@ func main() {
 	for _, b := range rep.Benchmarks {
 		fmt.Printf("  %-20s %10.2f ns/op %6d B/op %4d allocs/op\n",
 			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
-		if strings.HasPrefix(b.Name, "ComputeDiff") && b.AllocsPerOp != 0 {
-			log.Fatalf("%s allocated %d times per op; the buffered diff path must be allocation-free", b.Name, b.AllocsPerOp)
+		switch {
+		case b.Name == "ComputeDiffOwned":
+			if b.AllocsPerOp > 2 {
+				log.Fatalf("%s allocated %d times per op; the owned form's budget is the clone's 2 (headers + slab)", b.Name, b.AllocsPerOp)
+			}
+		case strings.HasPrefix(b.Name, "ComputeDiff"):
+			if b.AllocsPerOp != 0 {
+				log.Fatalf("%s allocated %d times per op; the buffered diff path must be allocation-free", b.Name, b.AllocsPerOp)
+			}
 		}
 	}
 

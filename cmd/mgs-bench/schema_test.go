@@ -86,14 +86,19 @@ func TestCommittedReportContents(t *testing.T) {
 	}
 	wantBench := []string{
 		"TLBLookup", "ComputeDiffClean", "ComputeDiffSparse",
-		"ComputeDiffDense", "EngineDispatch", "AccessFastPath",
+		"ComputeDiffDense", "ComputeDiffOwned", "EngineDispatch", "AccessFastPath",
 	}
 	var names []string
 	for _, b := range rep.Benchmarks {
 		names = append(names, b.Name)
-		if b.Name == "ComputeDiffClean" || b.Name == "ComputeDiffSparse" || b.Name == "ComputeDiffDense" {
+		switch b.Name {
+		case "ComputeDiffClean", "ComputeDiffSparse", "ComputeDiffDense":
 			if b.AllocsPerOp != 0 {
 				t.Errorf("%s: committed report records %d allocs/op; the buffered diff path must be allocation-free", b.Name, b.AllocsPerOp)
+			}
+		case "ComputeDiffOwned":
+			if b.AllocsPerOp > 2 {
+				t.Errorf("%s: committed report records %d allocs/op; the owned form's budget is the clone's 2", b.Name, b.AllocsPerOp)
 			}
 		}
 	}

@@ -108,5 +108,5 @@ func (t *Tool) Config(opts ...harness.Option) harness.Config {
 // paper suite first.
 func AppList() []string {
 	return append(append([]string{}, exp.AppNames...),
-		"water-kernel", "water-kernel-tiled", "lu")
+		"water-kernel", "water-kernel-tiled", "lu", "serve")
 }

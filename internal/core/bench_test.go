@@ -89,6 +89,29 @@ func TestComputeDiffZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestComputeDiffOwnedAllocs pins the throwaway form: ComputeDiff draws
+// its scratch from the pool, so the only allocations left are the
+// clone's two exact-size copies (range headers + payload slab) — and
+// zero for a clean page, whose diff is empty. Before the pooled
+// rewrite a cold `var b DiffBuf` compute cost 5 allocs/op (four
+// growth-by-doubling appends plus the payload slab).
+func TestComputeDiffOwnedAllocs(t *testing.T) {
+	for _, p := range diffPatterns {
+		twin, cur := diffPage(p.changed)
+		want := 2.0
+		if p.name == "Clean" {
+			want = 0
+		}
+		ComputeDiff(twin, cur) // warm the pool to this high-water mark
+		allocs := testing.AllocsPerRun(100, func() {
+			ComputeDiff(twin, cur)
+		})
+		if allocs != want {
+			t.Errorf("%s: ComputeDiff allocated %.1f times per op, want %.0f", p.name, allocs, want)
+		}
+	}
+}
+
 // TestDiffPoolRoundTripZeroAllocs pins the full protocol-path shape the
 // release and refresh handlers use: draw a pooled buffer, compute,
 // apply the diff to a home image, return the buffer. Once the pool is

@@ -133,12 +133,40 @@ func (b *DiffBuf) Compute(twin, cur []byte) Diff {
 	return d
 }
 
-// ComputeDiff is Compute on a throwaway buffer: the returned Diff owns
-// its storage. Protocol paths use a pooled DiffBuf instead; this form
-// serves tests and callers that keep the diff.
+// Clone copies the diff into exact-size owned storage: one allocation
+// for the range headers and one for a shared payload slab (none for an
+// empty diff). The clone survives recycling of the DiffBuf the receiver
+// was computed from.
+func (d Diff) Clone() Diff {
+	if len(d) == 0 {
+		return nil
+	}
+	total := 0
+	for _, r := range d {
+		total += len(r.Data)
+	}
+	out := make(Diff, len(d))
+	slab := make([]byte, total)
+	pos := 0
+	for i, r := range d {
+		n := copy(slab[pos:pos+len(r.Data)], r.Data)
+		out[i] = DiffRange{Off: r.Off, Data: slab[pos : pos+n : pos+n]}
+		pos += n
+	}
+	return out
+}
+
+// ComputeDiff computes a diff the caller may keep: the returned Diff
+// owns its storage. The scratch work happens in a pooled DiffBuf, so
+// the only allocations are the clone's two exact-size copies (ranges
+// and payload slab) — not the buffer's growth-by-doubling, which the
+// pool amortizes away. Protocol paths that apply-and-discard use a
+// pooled DiffBuf directly and skip the copy.
 func ComputeDiff(twin, cur []byte) Diff {
-	var b DiffBuf
-	return b.Compute(twin, cur)
+	b := getDiffBuf()
+	d := b.Compute(twin, cur).Clone()
+	putDiffBuf(b)
+	return d
 }
 
 // Apply merges the diff into dst (the home copy).

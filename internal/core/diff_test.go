@@ -219,3 +219,32 @@ func TestDUQReAddAfterRemove(t *testing.T) {
 		t.Fatalf("pop = (%d,%v), want (5,true)", p, ok)
 	}
 }
+
+// TestComputeDiffOwnsStorage checks the throwaway form's ownership
+// contract: the returned diff must survive the pooled scratch buffer
+// being recycled and overwritten by a later, different computation.
+func TestComputeDiffOwnsStorage(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[3], cur[4] = 7, 8
+	d := ComputeDiff(twin, cur)
+	snap := ComputeDiff(twin, cur) // identical second copy for comparison
+
+	// Churn the pool with conflicting contents.
+	other := make([]byte, 64)
+	for i := range other {
+		other[i] = 0xAA
+	}
+	for i := 0; i < 8; i++ {
+		ComputeDiff(twin, other)
+	}
+
+	if len(d) != len(snap) {
+		t.Fatalf("diff changed shape after pool reuse: %+v", d)
+	}
+	for i := range d {
+		if d[i].Off != snap[i].Off || !bytes.Equal(d[i].Data, snap[i].Data) {
+			t.Fatalf("range %d corrupted by pool reuse: %+v want %+v", i, d[i], snap[i])
+		}
+	}
+}

@@ -34,7 +34,13 @@ func putPageBuf(b []byte) {
 	}
 }
 
-var diffBufPool = sync.Pool{New: func() any { return new(DiffBuf) }}
+// diffBufPool recycles diff scratch buffers. New pre-sizes the range
+// header slice so a fresh buffer's first Compute does not pay the
+// append growth-by-doubling walk; the payload slab still grows to the
+// first diff's high-water mark on demand.
+var diffBufPool = sync.Pool{
+	New: func() any { return &DiffBuf{ranges: make([]DiffRange, 0, 32)} },
+}
 
 // getDiffBuf draws a reusable diff buffer. Pair with putDiffBuf once
 // the diff computed from it has been applied (or discarded).

@@ -10,6 +10,7 @@ import (
 	"mgs/internal/apps"
 	"mgs/internal/framework"
 	"mgs/internal/harness"
+	"mgs/internal/serve"
 	"mgs/internal/sim"
 )
 
@@ -36,6 +37,8 @@ func NewApp(name string) harness.App {
 		return &apps.WaterKernel{N: 256, Tiled: true}
 	case "lu":
 		return &apps.LU{N: 128, B: 16}
+	case "serve":
+		return apps.NewServe(serve.DefaultWorkload(false, 1))
 	}
 	panic(fmt.Sprintf("exp: unknown app %q", name))
 }
@@ -59,6 +62,8 @@ func SmallApp(name string) harness.App {
 		return &apps.WaterKernel{N: 128, Tiled: true}
 	case "lu":
 		return &apps.LU{N: 48, B: 8}
+	case "serve":
+		return apps.NewServe(serve.DefaultWorkload(true, 1))
 	}
 	panic(fmt.Sprintf("exp: unknown app %q", name))
 }

@@ -33,16 +33,18 @@ func runWorkers(t *testing.T, name string, workers int, plan fault.Plan) (harnes
 	return res, mem
 }
 
-// TestParallelEngineBitIdentical is the core equivalence matrix: all
-// five applications, worker counts spanning fewer-than-shards through
-// more-than-shards, fault-free and under the 5%-loss chaos envelope.
+// TestParallelEngineBitIdentical is the core equivalence matrix: the
+// paper suite plus the serving workload, worker counts spanning
+// fewer-than-shards through more-than-shards, fault-free and under the
+// 5%-loss chaos envelope.
 func TestParallelEngineBitIdentical(t *testing.T) {
 	plans := map[string]fault.Plan{
 		"faultfree": {},
 		"chaos5pct": envelopePlan(11),
 	}
+	names := append(append([]string{}, AppNames...), "serve")
 	for planName, plan := range plans {
-		for _, name := range AppNames {
+		for _, name := range names {
 			refRes, refMem := runWorkers(t, name, 1, plan)
 			for _, w := range []int{2, 4, 8} {
 				res, mem := runWorkers(t, name, w, plan)

@@ -33,6 +33,7 @@ var deterministicPkgs = map[string]bool{
 	"fault": true,
 	"obs":   true, // sinks fire from engine context; see internal/obs
 	"check": true, // spec Feed and Chooser.Choose fire from engine context
+	"serve": true, // store ops run in Proc bodies; trace generation is host-side but seeded
 }
 
 // canonicalPath strips go vet's test-variant suffix: the package

@@ -121,6 +121,43 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.n) }
 
+// Quantile returns a bucket-interpolated estimate of the p-quantile
+// (0 < p <= 1) of the observed distribution: the target rank p·n is
+// located in the cumulative bucket counts and the value interpolated
+// linearly inside the containing bucket, which is exact whenever
+// observations are uniform within each bucket. Ranks that land in the
+// unbounded overflow bucket clamp to the last finite bound (the
+// estimate cannot exceed the layout's range); an empty histogram
+// reports 0. Safe to call concurrently with Observe — the estimate is
+// computed from one atomic pass over the buckets.
+func (h *Histogram) Quantile(p float64) float64 {
+	n := atomic.LoadInt64(&h.n)
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * float64(n)
+	var cum int64
+	lo := int64(0)
+	for i, b := range h.bounds {
+		c := atomic.LoadInt64(&h.counts[i])
+		if c > 0 && float64(cum+c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return float64(lo) + frac*float64(b-lo)
+		}
+		cum += c
+		lo = b
+	}
+	return float64(lo)
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() int64 { return atomic.LoadInt64(&h.sum) }
 

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformBounds returns bucket edges width apart covering [width, max].
+func uniformBounds(width, max int64) []int64 {
+	var b []int64
+	for x := width; x <= max; x += width {
+		b = append(b, x)
+	}
+	return b
+}
+
+// TestQuantileExactOnUniform pins the interpolation against exact
+// quantiles: with observations 1..N and bucket edges every 100, every
+// value is uniform within its bucket, so the bucket-interpolated
+// estimate equals the exact p-quantile (rank p·N) for the quantiles the
+// serving report uses.
+func TestQuantileExactOnUniform(t *testing.T) {
+	const n = 1000
+	h := &Histogram{bounds: uniformBounds(100, 1000), counts: make([]int64, 11)}
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 500},
+		{0.90, 900},
+		{0.99, 990},
+		{0.999, 999},
+		{1.0, 1000},
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileSkewed pins a two-mode distribution: 990 fast
+// observations in (0, 100] and 10 slow ones in (900, 1000]. p50 and p99
+// stay inside the fast bucket; p999 lands in the slow one.
+func TestQuantileSkewed(t *testing.T) {
+	h := &Histogram{bounds: uniformBounds(100, 1000), counts: make([]int64, 11)}
+	for i := 0; i < 990; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(950)
+	}
+	// Rank p50 = 500 of 990 in bucket (0,100]: 100·(500/990).
+	if got, want := h.Quantile(0.50), 100*500.0/990.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p50 = %g, want %g", got, want)
+	}
+	// Rank p99 = 990, exactly the fast bucket's upper edge.
+	if got := h.Quantile(0.99); math.Abs(got-100) > 1e-9 {
+		t.Errorf("p99 = %g, want 100", got)
+	}
+	// Rank p999 = 999 lands 9 observations into the slow bucket
+	// (900, 1000]: 900 + 100·(9/10).
+	if got, want := h.Quantile(0.999), 990.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p999 = %g, want %g", got, want)
+	}
+}
+
+// TestQuantileEdges pins the degenerate cases: empty histogram, a
+// single observation, out-of-range p, and ranks in the unbounded
+// overflow bucket (clamped to the last finite bound).
+func TestQuantileEdges(t *testing.T) {
+	h := &Histogram{bounds: []int64{10, 100}, counts: make([]int64, 3)}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram: Quantile = %g, want 0", got)
+	}
+	h.Observe(7)
+	if got := h.Quantile(0.5); got <= 0 || got > 10 {
+		t.Errorf("single observation: Quantile(0.5) = %g, want in (0, 10]", got)
+	}
+	if got := h.Quantile(2.0); got != h.Quantile(1.0) {
+		t.Errorf("p > 1 must clamp: %g vs %g", got, h.Quantile(1.0))
+	}
+	// Overflow: every observation beyond the last edge clamps there.
+	o := &Histogram{bounds: []int64{10, 100}, counts: make([]int64, 3)}
+	for i := 0; i < 50; i++ {
+		o.Observe(5000)
+	}
+	if got := o.Quantile(0.999); got != 100 {
+		t.Errorf("overflow bucket: Quantile = %g, want clamp to 100", got)
+	}
+}
+
+// TestQuantileMonotone pins that estimates never decrease in p on a
+// mixed distribution spanning several buckets plus the overflow.
+func TestQuantileMonotone(t *testing.T) {
+	h := &Histogram{bounds: TimeBuckets, counts: make([]int64, len(TimeBuckets)+1)}
+	vals := []int64{50, 90, 200, 900, 2_500, 9_000, 25_000, 99_000, 400_000, 2_000_000, 9_000_000}
+	for i, v := range vals {
+		for k := 0; k <= i; k++ { // heavier head, thinner tail
+			h.Observe(v)
+		}
+	}
+	prev := -1.0
+	for p := 0.05; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: p=%g -> %g after %g", p, q, prev)
+		}
+		prev = q
+	}
+}
