@@ -32,6 +32,7 @@ import (
 	"mgs/internal/core"
 	"mgs/internal/exp"
 	"mgs/internal/harness"
+	"mgs/internal/msg"
 	"mgs/internal/sim"
 	"mgs/internal/vm"
 )
@@ -76,11 +77,41 @@ type EngineResult struct {
 	Points     []EnginePoint `json:"points"`
 }
 
+// ScaleDirPoint is one cluster size of a thousand-processor scale
+// curve: execution time, link contention, and the Server's directory
+// footprint at end of run.
+type ScaleDirPoint struct {
+	C          int   `json:"c"`
+	Cycles     int64 `json:"cycles"`
+	LinkWait   int64 `json:"link_wait"`
+	DirPages   int   `json:"dir_pages"`
+	DirRmt     int   `json:"dir_rmt_entries"`
+	DirCoarse  int   `json:"dir_coarse_pages"`
+	DirBytes   int64 `json:"dir_bytes"`
+	DenseBytes int64 `json:"dense_equiv_bytes"`
+}
+
+// ScaleResult is one P's scale curve on the tiered topology, with the
+// §2.4 framework metrics and the directory-memory measurement the
+// hierarchical coarse-vector directory exists for: dir_bytes versus
+// what a dense per-SSMP directory would occupy on the same run.
+type ScaleResult struct {
+	App                 string          `json:"app"`
+	Topology            string          `json:"topology"`
+	P                   int             `json:"p"`
+	Seconds             float64         `json:"seconds"`
+	BreakupPenalty      float64         `json:"breakup_penalty"`
+	MultigrainPotential float64         `json:"multigrain_potential"`
+	Note                string          `json:"note"`
+	Points              []ScaleDirPoint `json:"points"`
+}
+
 // Report is the file schema of BENCH_sim.json.
 type Report struct {
 	Benchmarks []BenchResult `json:"benchmarks"`
 	Sweep      SweepResult   `json:"sweep"`
 	Engine     EngineResult  `json:"engine"`
+	Scale      []ScaleResult `json:"scale"`
 }
 
 func bench(name string, fn func(b *testing.B)) BenchResult {
@@ -278,6 +309,42 @@ func engineCurve(app string, p int, mk func(string) harness.App, counts []int) (
 	return res, nil
 }
 
+// scaleCurve runs the thousand-processor scale experiment at one P on
+// the tiered LAN/WAN topology and distills the framework metrics plus
+// the directory-memory measurement. It refuses to report a run where
+// the directory footprint grew past a small multiple of the page count
+// — O(sharers) is a contract, not an observation.
+func scaleCurve(app string, p int) (ScaleResult, error) {
+	topo := msg.NewTiered(0)
+	start := time.Now()
+	points, m, err := exp.ScaleSweep(app, p, topo, exp.ScaleClusterSizes(p))
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	res := ScaleResult{
+		App: app, Topology: "tiered", P: p,
+		Seconds:             time.Since(start).Seconds(),
+		BreakupPenalty:      m.BreakupPenalty,
+		MultigrainPotential: m.MultigrainPotential,
+		Note: "dir_bytes is the hierarchical directory's footprint (O(sharers) per page); " +
+			"dense_equiv_bytes is what one record per SSMP per page would occupy",
+	}
+	for _, pt := range points {
+		nssmp := p / pt.C
+		res.Points = append(res.Points, ScaleDirPoint{
+			C: pt.C, Cycles: int64(pt.Cycles), LinkWait: pt.LinkWait,
+			DirPages: pt.Dir.Pages, DirRmt: pt.Dir.RmtEntries,
+			DirCoarse: pt.Dir.CoarsePages, DirBytes: pt.Dir.Bytes,
+			DenseBytes: pt.Dir.DenseBytes(nssmp),
+		})
+		if pt.Dir.Pages > 0 && pt.Dir.RmtEntries > 8*pt.Dir.Pages {
+			return res, fmt.Errorf("scale P=%d C=%d: directory not O(sharers): %d entries for %d pages",
+				p, pt.C, pt.Dir.RmtEntries, pt.Dir.Pages)
+		}
+	}
+	return res, nil
+}
+
 func main() {
 	t := cli.New("mgs-bench").MachineFlags("water", 32, 0, false)
 	out := flag.String("out", "BENCH_sim.json", "output file")
@@ -342,6 +409,17 @@ func main() {
 		fmt.Printf("  w=%d %.2fs (%.2fx)", pt.Workers, pt.Seconds, pt.Speedup)
 	}
 	fmt.Println()
+
+	for _, p := range []int{256, 1024} {
+		sc, err := scaleCurve("jacobi", p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Scale = append(rep.Scale, sc)
+		soft := sc.Points[0]
+		fmt.Printf("  scale jacobi P=%d tiered: %.2fs, breakup %.0f%%, potential %.0f%%, dir %dB vs dense %dB at C=1\n",
+			p, sc.Seconds, sc.BreakupPenalty*100, sc.MultigrainPotential*100, soft.DirBytes, soft.DenseBytes)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

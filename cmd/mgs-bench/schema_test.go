@@ -115,4 +115,27 @@ func TestCommittedReportContents(t *testing.T) {
 	if rep.Engine.NumCPU < 1 || rep.Engine.Note == "" {
 		t.Error("engine curve must record its host context (num_cpu, note)")
 	}
+	var scaleP []int
+	for _, sc := range rep.Scale {
+		scaleP = append(scaleP, sc.P)
+		if sc.Topology != "tiered" {
+			t.Errorf("scale P=%d ran on %q, want tiered", sc.P, sc.Topology)
+		}
+		if len(sc.Points) < 3 {
+			t.Errorf("scale P=%d: %d points, want the framework's minimum of 3", sc.P, len(sc.Points))
+		}
+		for _, pt := range sc.Points {
+			if pt.DirPages > 0 && pt.DirRmt > 8*pt.DirPages {
+				t.Errorf("scale P=%d C=%d: committed report records a non-sparse directory (%d entries / %d pages)",
+					sc.P, pt.C, pt.DirRmt, pt.DirPages)
+			}
+			if pt.DirPages > 0 && pt.DenseBytes <= pt.DirBytes {
+				t.Errorf("scale P=%d C=%d: dense equivalent %dB not above measured %dB",
+					sc.P, pt.C, pt.DenseBytes, pt.DirBytes)
+			}
+		}
+	}
+	if !reflect.DeepEqual(scaleP, []int{256, 1024}) {
+		t.Errorf("scale curve machine sizes drifted: %v, want [256 1024]", scaleP)
+	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"mgs/internal/exp"
 	"mgs/internal/harness"
+	"mgs/internal/msg"
 )
 
 // Tool holds the shared flag values of one mgs command-line tool.
@@ -31,11 +32,15 @@ type Tool struct {
 	// EngineWorkers is the -engine-workers shard count for the
 	// parallel event dispatcher inside each simulation.
 	EngineWorkers int
+	// Topology is the -topology inter-SSMP interconnect selection
+	// (uniform, mesh, fattree, tiered).
+	Topology string
 	// CSV selects machine-readable output (-csv).
 	CSV bool
 
 	hasWorkers       bool
 	hasEngineWorkers bool
+	hasTopology      bool
 }
 
 // New configures the standard tool logging — bare messages prefixed
@@ -65,6 +70,9 @@ func (t *Tool) ShapeFlags(pDef, cDef int, smallDef bool) *Tool {
 	flag.IntVar(&t.EngineWorkers, "engine-workers", 0,
 		"event-dispatch shards per simulation (<=1 = sequential engine; results are bit-identical at any setting)")
 	t.hasEngineWorkers = true
+	flag.StringVar(&t.Topology, "topology", "uniform",
+		"inter-SSMP interconnect: "+strings.Join(msg.TopologyNames(), ", "))
+	t.hasTopology = true
 	return t
 }
 
@@ -86,6 +94,15 @@ func (t *Tool) Parse() *Tool {
 	}
 	if t.hasEngineWorkers {
 		harness.EngineWorkers = t.EngineWorkers
+	}
+	if t.hasTopology {
+		topo, err := msg.ByName(t.Topology)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if t.Topology != "" && t.Topology != "uniform" {
+			harness.DefaultTopology = topo
+		}
 	}
 	return t
 }

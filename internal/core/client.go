@@ -131,7 +131,7 @@ func (s *System) nullFill(p *sim.Proc, ss *ssmpState, v vm.Page, write bool) {
 func (s *System) insertTLB(ss *ssmpState, proc int, v vm.Page, priv vm.Priv) {
 	evicted, did := s.tlbs[proc].Insert(v, priv)
 	if did {
-		if old, ok := ss.pages[evicted]; ok {
+		if old := ss.pages.get(evicted); old != nil {
 			old.tlbDir &^= bit(s.within(proc))
 		}
 	}
@@ -203,7 +203,7 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 					if c.LazyRelease {
 						stale = cp.gen != gen || cp.state != PWrite
 					} else {
-						stale = sp.rmt[ssmp].gens != gen
+						stale = sp.rmtGens(ssmp) != gen
 					}
 					// Costs.MutStaleWNotify (model-checker mutation test
 					// only) bypasses the staleness check, re-introducing
@@ -211,14 +211,14 @@ func (s *System) onUpgrade(cp *clientPage, requester *sim.Proc, at sim.Time) {
 					if stale && !s.cfg.Costs.MutStaleWNotify {
 						s.st.Count("wnotify.stale", 1)
 						s.emitPageArgs(at2, -1, sp.page, "WNOTIFY", [3]int64{1, int64(ssmp), gen},
-							"from ssmp %d STALE (gen %d != home gens %d)", ssmp, gen, sp.rmt[ssmp].gens)
+							"from ssmp %d STALE (gen %d != home gens %d)", ssmp, gen, sp.rmtGens(ssmp))
 						return
 					}
 					s.st.Count("wnotify", 1)
 					s.emitPageArgs(at2, -1, sp.page, "WNOTIFY", [3]int64{0, int64(ssmp), gen},
 						"from ssmp %d (state %d)", ssmp, sp.state)
-					sp.readDir &^= bit(ssmp)
-					sp.writeDir |= bit(ssmp)
+					sp.readDir.remove(ssmp)
+					sp.writeDir.add(ssmp, s.dirThresh, s.dirGrain)
 					if sp.state == sRead {
 						sp.state = sWrite
 					}

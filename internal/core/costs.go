@@ -31,6 +31,17 @@ type Costs struct {
 	CtrlBytes   int // payload of a control message
 	DiffHdrByte int // per-range overhead in a DIFF payload
 
+	// DirThreshold caps the exact per-page directory: past this many
+	// registered SSMPs the Server's read/write directories collapse to
+	// a 64-bit coarse cluster vector (one bit per ceil(SSMPs/64)
+	// clusters), trading invalidation precision for O(threshold) home
+	// memory — over-invalidated SSMPs answer with the copy-already-gone
+	// acknowledgement, charged in cycles like any INV. Zero means 64,
+	// which keeps machines of up to 64 SSMPs always exact (and their
+	// runs bit-identical to the flat-bitmask directory this replaces).
+	// See dirset.go.
+	DirThreshold int
+
 	// SingleWriter enables the paper's single-writer optimization:
 	// when a release finds exactly one outstanding write copy, the
 	// whole page is shipped home instead of a diff and the writer SSMP

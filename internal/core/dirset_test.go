@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mgs/internal/sim"
+	"mgs/internal/vm"
+)
+
+func TestDirSetExactOps(t *testing.T) {
+	var d dirSet
+	if !d.empty() {
+		t.Fatal("zero dirSet not empty")
+	}
+	d.add(5, 64, 1)
+	d.add(2, 64, 1)
+	d.add(5, 64, 1) // duplicate
+	if d.empty() || d.coarse {
+		t.Fatalf("after adds: empty=%v coarse=%v", d.empty(), d.coarse)
+	}
+	if got := d.mask64(); got != 1<<5|1<<2 {
+		t.Fatalf("mask64 = %b, want %b", got, uint64(1<<5|1<<2))
+	}
+	if !d.has(5, 1) || d.has(3, 1) {
+		t.Fatal("exact membership wrong")
+	}
+	if d.isOnly(5) {
+		t.Fatal("isOnly true with two members")
+	}
+	d.remove(2)
+	if !d.isOnly(5) {
+		t.Fatal("isOnly false after remove")
+	}
+	d.clear()
+	if !d.empty() || d.mask64() != 0 {
+		t.Fatal("clear did not empty the set")
+	}
+}
+
+func TestDirSetCoarseCollapse(t *testing.T) {
+	var d dirSet
+	// Threshold 2, grain 4: the third distinct SSMP collapses the set.
+	d.add(0, 2, 4)
+	d.add(9, 2, 4)
+	if d.coarse {
+		t.Fatal("coarse before threshold exceeded")
+	}
+	d.add(5, 2, 4)
+	if !d.coarse {
+		t.Fatal("not coarse past threshold")
+	}
+	// Clusters: 0 -> group 0, 9 -> group 2, 5 -> group 1.
+	if d.groups != 1<<0|1<<2|1<<1 {
+		t.Fatalf("groups = %b", d.groups)
+	}
+	// Membership over-approximates within a marked cluster...
+	if !d.has(1, 4) || !d.has(5, 4) {
+		t.Fatal("coarse has() missed a marked cluster")
+	}
+	// ...but never claims an unmarked one.
+	if d.has(12, 4) {
+		t.Fatal("coarse has() invented an unmarked cluster")
+	}
+	// Removal is a sound no-op; precision returns only via clear.
+	d.remove(5)
+	if !d.has(5, 4) {
+		t.Fatal("coarse remove dropped a cluster bit")
+	}
+	if d.isOnly(5) {
+		t.Fatal("coarse isOnly must be false")
+	}
+	d.clear()
+	if d.coarse || !d.empty() {
+		t.Fatal("clear did not return to exact mode")
+	}
+}
+
+func TestPageArena(t *testing.T) {
+	var a pageArena[int]
+	if a.get(3) != nil {
+		t.Fatal("get on empty arena")
+	}
+	x, y := 1, 2
+	a.put(7, &x)
+	a.put(3, &y)
+	if a.get(7) != &x || a.get(3) != &y || a.get(5) != nil {
+		t.Fatal("get after put wrong")
+	}
+	var order []vm.Page
+	a.each(func(v vm.Page, p *int) { order = append(order, v) })
+	if len(order) != 2 || order[0] != 3 || order[1] != 7 {
+		t.Fatalf("each order = %v, want [3 7]", order)
+	}
+	a.del(7)
+	if a.get(7) != nil || a.n != 1 {
+		t.Fatal("del did not remove")
+	}
+}
+
+// TestCoarseDirectoryMemoryEquivalence runs the randomized protocol
+// stress workload once with the default exact directory and once with
+// DirThreshold=1 — every multi-sharer page goes coarse — and checks
+// both that the coarse path actually engaged and that the final home
+// memory is identical: over-invalidation may change timing, never data.
+func TestCoarseDirectoryMemoryEquivalence(t *testing.T) {
+	run := func(thresh int) ([]byte, *testMachine) {
+		tm := buildTest(8, 2, 700, func(cfg *Config) { cfg.Costs.DirThreshold = thresh })
+		runStressBodies(t, tm, 8, 41)
+		tm.run(t)
+		return tm.sys.SnapshotMemory(), tm
+	}
+	exact, _ := run(0)
+	coarse, tmCoarse := run(1)
+	if tmCoarse.st.Counter("dir.coarse") == 0 {
+		t.Fatal("DirThreshold=1 never exercised the coarse expansion")
+	}
+	if string(exact) != string(coarse) {
+		t.Fatal("coarse directory changed final memory")
+	}
+	// With the threshold at 1, single-sharer rounds may still certify a
+	// single writer, but multi-sharer write sets cannot.
+	ds := tmCoarse.sys.DirectoryStats()
+	if ds.Pages == 0 || ds.RmtEntries == 0 {
+		t.Fatalf("DirectoryStats empty after stress: %+v", ds)
+	}
+}
+
+// TestDirectoryStatsSparse checks the home-side scaling claim: copy
+// records exist only for SSMPs actually served, not one per SSMP.
+func TestDirectoryStatsSparse(t *testing.T) {
+	tm := buildTest(16, 2, 500, nil) // 8 SSMPs
+	va := tm.sys.Space().AllocPages(1024)
+	tm.bodies[2] = func(p *sim.Proc) { // SSMP 1 only
+		store64(tm.sys, p, va, 9)
+		tm.sys.ReleaseAll(p)
+	}
+	tm.run(t)
+	ds := tm.sys.DirectoryStats()
+	if ds.Pages != 1 {
+		t.Fatalf("Pages = %d, want 1", ds.Pages)
+	}
+	if ds.RmtEntries != 1 {
+		t.Fatalf("RmtEntries = %d, want 1 (one SSMP served; old dense layout would hold 8)", ds.RmtEntries)
+	}
+	if ds.CoarsePages != 0 {
+		t.Fatalf("CoarsePages = %d, want 0", ds.CoarsePages)
+	}
+	if ds.Bytes <= 0 {
+		t.Fatalf("Bytes = %d", ds.Bytes)
+	}
+}
+
+// runStressBodies installs the randomized disjoint-slot workload from
+// stressOnce on an existing machine (shared by the directory tests).
+func runStressBodies(t *testing.T, tm *testMachine, p int, seed int64) {
+	t.Helper()
+	const npages = 6
+	const slotsPerProc = 8
+	base := tm.sys.Space().AllocPages(npages * 1024)
+	slotVA := func(proc, slot int) vm.Addr {
+		return base + vm.Addr((slot*p+proc)*8)
+	}
+	if slotsPerProc*p*8 > npages*1024 {
+		t.Fatal("slot layout overflows pages")
+	}
+	for i := 0; i < p; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		tm.bodies[i] = func(pr *sim.Proc) {
+			for step := 0; step < 60; step++ {
+				slot := rng.Intn(slotsPerProc)
+				store64(tm.sys, pr, slotVA(i, slot), rng.Uint64())
+				if rng.Intn(7) == 0 {
+					tm.sys.ReleaseAll(pr)
+				}
+				if rng.Intn(3) == 0 {
+					load64(tm.sys, pr, slotVA(rng.Intn(p), rng.Intn(slotsPerProc)))
+				}
+			}
+			tm.sys.ReleaseAll(pr)
+		}
+	}
+}

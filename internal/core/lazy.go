@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/bits"
-	"sort"
 
 	"mgs/internal/obs"
 	"mgs/internal/sim"
@@ -55,7 +54,7 @@ func (s *System) releaseLazy(p *sim.Proc, ss *ssmpState, d *duq) {
 			return
 		}
 		s.st.ProfSet(p.ID, obs.ObjPage, int64(v))
-		cp := ss.pages[v]
+		cp := ss.pages.get(v)
 		s.lockProc(cp, p, stats.MGS)
 		if cp.state != PWrite {
 			// Already flushed — by an acquire-time sync or by another
@@ -180,9 +179,9 @@ func (s *System) AcquireSync(p *sim.Proc) {
 	}
 	c := &s.cfg.Costs
 	ss := s.ssmps[s.ssmpOf(p.ID)]
-	// Deterministic scan order: map iteration must not leak into timing.
+	// The arena scan is in ascending page order — deterministic.
 	var pages []vm.Page
-	for v, cp := range ss.pages {
+	ss.pages.each(func(v vm.Page, cp *clientPage) {
 		switch cp.state {
 		case PBusy:
 			// A fetch in flight can carry a pre-merge image: serialize
@@ -192,14 +191,13 @@ func (s *System) AcquireSync(p *sim.Proc) {
 		case PRead, PWrite:
 			sp := s.serverIfExists(v)
 			if sp == nil || cp.ssmp == s.ssmpOf(sp.homeProc) || cp.version >= sp.version {
-				continue // home copies live in the home frame; fresh copies stay
+				return // home copies live in the home frame; fresh copies stay
 			}
 			pages = append(pages, v)
 		}
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	})
 	for _, v := range pages {
-		cp := ss.pages[v]
+		cp := ss.pages.get(v)
 		sp := s.server(v)
 		if cp.ssmp == s.ssmpOf(sp.homeProc) {
 			continue

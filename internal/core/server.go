@@ -55,11 +55,11 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 		// its "copy" is the home frame, kept consistent in place. Only
 		// remote copies need invalidating at release.
 		if write {
-			sp.writeDir |= bit(r)
+			sp.writeDir.add(r, s.dirThresh, s.dirGrain)
 			sp.state = sWrite
 			s.st.Count("wdat", 1)
 		} else {
-			sp.readDir |= bit(r)
+			sp.readDir.add(r, s.dirThresh, s.dirGrain)
 			s.st.Count("rdat", 1)
 		}
 		// Record where the SSMP's Remote Client lives so invalidations
@@ -67,7 +67,7 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 		// serve's requester is the copy's permanent first-touch owner
 		// (PBusy plus the page-table lock admit one outstanding request
 		// per SSMP and page).
-		rc := &sp.rmt[r]
+		rc := sp.rmtEnsure(r)
 		rc.cp = cp
 		if rc.owner < 0 {
 			rc.owner = int32(p.ID)
@@ -83,7 +83,7 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 		// shoot down the home SSMP's mappings so its processors' next
 		// writes fault and re-enter their delayed update queues — from
 		// now on there is a remote copy to keep consistent.
-		if hcp, ok := s.ssmps[homeSSMP].pages[sp.page]; ok && hcp.frame != nil && hcp.dir != nil {
+		if hcp := s.ssmps[homeSSMP].pages.get(sp.page); hcp != nil && hcp.frame != nil && hcp.dir != nil {
 			s.st.Count("clean.serve", 1)
 			at = s.net.Extend(sp.homeProc, at, s.ssmps[homeSSMP].domain.CleanPage(hcp.frame, hcp.dir))
 			if hcp.state == PWrite && hcp.tlbDir != 0 {
@@ -107,7 +107,7 @@ func (s *System) serveData(sp *serverPage, cp *clientPage, p *sim.Proc, write bo
 		s.st.Count("rdat.home", 1)
 	}
 	s.emitPageArgs(at, p.ID, sp.page, "SERVE", [3]int64{b2i(write), int64(r), b2i(r == homeSSMP)},
-		"to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", p.ID, r, write, sp.readDir, sp.writeDir, sp.homeProc)
+		"to proc %d (ssmp %d) write=%v dirs R=%b W=%b home=%d", p.ID, r, write, sp.readDir.mask64(), sp.writeDir.mask64(), sp.homeProc)
 	servedVer := sp.version
 	s.net.SendTagged(sim.Label{Kind: "DATA", Page: int64(sp.page), Src: sp.homeProc, Dst: p.ID, Aux: b2i(write)},
 		sp.homeProc, p.ID, at, bytes, 0, func(at2 sim.Time) {
@@ -202,7 +202,7 @@ func (s *System) ReleaseAll(p *sim.Proc) {
 			return
 		}
 		s.st.ProfSet(p.ID, obs.ObjPage, int64(v))
-		cp := ss.pages[v]
+		cp := ss.pages.get(v)
 		s.lockProc(cp, p, stats.MGS)
 		// cond: the copy was invalidated since this processor dirtied
 		// it, so the data already went home with that capture. The
@@ -275,24 +275,27 @@ func (s *System) onRel(sp *serverPage, relProc int, capRound int64, cond bool, a
 		s.sendRack(sp, relProc, at)
 		return
 	}
-	targets := sp.readDir | sp.writeDir
-	if targets == 0 {
+	targets := s.dirTargets(sp, -1)
+	if len(targets) == 0 {
 		s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relNoTargets, 0, 0},
 			"from proc %d NOTARGETS", relProc)
 		s.sendRack(sp, relProc, at)
 		return
 	}
-	s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relRound, int64(targets), int64(sp.writeDir)},
-		"from proc %d -> round targets=%b writeDir=%b", relProc, targets, sp.writeDir)
+	tmask := sp.readDir.mask64() | sp.writeDir.mask64()
+	s.emitPageArgs(at, relProc, sp.page, "REL", [3]int64{relRound, int64(tmask), int64(sp.writeDir.mask64())},
+		"from proc %d -> round targets=%b writeDir=%b", relProc, tmask, sp.writeDir.mask64())
 	sp.state = sRel
 	sp.round++
-	sp.count = bits.OnesCount64(targets)
+	sp.count = len(targets)
 	sp.pendRel = append(sp.pendRel, relProc)
 	sp.keepWriter = -1
-	oneWriter := s.cfg.Costs.SingleWriter && bits.OnesCount64(sp.writeDir) == 1 && !sp.homeDirty
-	for t := targets; t != 0; t &= t - 1 {
-		r := bits.TrailingZeros64(t)
-		oneW := oneWriter && sp.writeDir == bit(r)
+	// A coarse write directory can never certify a single writer
+	// (isOnly is false there), so the optimization is forgone — the
+	// round's DIFF replies still carry every writer's data.
+	oneWriter := s.cfg.Costs.SingleWriter && !sp.homeDirty
+	for _, r := range targets {
+		oneW := oneWriter && sp.writeDir.isOnly(r)
 		if oneW {
 			sp.keepWriter = r
 			s.st.Count("1winv", 1)
@@ -316,7 +319,7 @@ func (s *System) onRel(sp *serverPage, relProc int, capRound int64, cond bool, a
 func (s *System) dispatchInv(sp *serverPage, at sim.Time) {
 	t := sp.invQueue[0]
 	sp.invQueue = sp.invQueue[1:]
-	rc := &sp.rmt[t.ssmp]
+	rc := sp.rmtGet(t.ssmp)
 	cp, o := rc.cp, int(rc.owner)
 	oneW := t.oneW
 	round := sp.round
@@ -562,7 +565,7 @@ func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, db 
 	if tornDown {
 		// One more incarnation of this SSMP's copy is fully retired;
 		// WNOTIFYs naming earlier incarnations are stale from now on.
-		sp.rmt[s.ssmpOf(from)].gens++
+		sp.rmtGet(s.ssmpOf(from)).gens++
 	}
 	if kind == ackReply && sp.keepWriter >= 0 && s.ssmpOf(from) == sp.keepWriter {
 		// The supposedly retained single writer reports its copy already
@@ -610,16 +613,15 @@ func (s *System) onInvReply(sp *serverPage, from int, kind invReply, d Diff, db 
 // releaser, and serve queued replication requests.
 func (s *System) finishRel(sp *serverPage, at sim.Time) {
 	if s.cfg.Costs.UpdateProtocol {
-		targets := (sp.readDir | sp.writeDir) &^ bit(s.ssmpOf(sp.homeProc))
-		if !sp.refreshDone && targets != 0 {
+		targets := s.dirTargets(sp, s.ssmpOf(sp.homeProc))
+		if !sp.refreshDone && len(targets) != 0 {
 			sp.refreshDone = true
 			// Refresh phase: push the merged image to every copy; the
 			// round completes only when all have acknowledged, so no
 			// post-release lock grant can read a stale copy.
-			sp.refreshing = bits.OnesCount64(targets)
+			sp.refreshing = len(targets)
 			img := sp.frame.Snapshot()
-			for t := targets; t != 0; t &= t - 1 {
-				r := bits.TrailingZeros64(t)
+			for _, r := range targets {
 				s.sendRefresh(sp, r, img, at)
 			}
 			return
@@ -634,7 +636,7 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 		// in-place write must fault back into a delayed update queue,
 		// or the persistent remote copies would go permanently stale.
 		homeSSMP := s.ssmpOf(sp.homeProc)
-		if hcp, ok := s.ssmps[homeSSMP].pages[sp.page]; ok && hcp.state == PWrite && hcp.tlbDir != 0 {
+		if hcp := s.ssmps[homeSSMP].pages.get(sp.page); hcp != nil && hcp.state == PWrite && hcp.tlbDir != 0 {
 			n := 0
 			for t := hcp.tlbDir; t != 0; t &= t - 1 {
 				q := s.ssmpBase(homeSSMP) + bits.TrailingZeros64(t)
@@ -646,7 +648,7 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 			s.net.Extend(sp.homeProc, at, sim.Time(n)*s.cfg.Costs.PinvWork)
 		}
 		// Directories persist: the copies are still out there, valid.
-		if sp.writeDir != 0 {
+		if !sp.writeDir.empty() {
 			sp.state = sWrite
 		} else {
 			sp.state = sRead
@@ -691,15 +693,15 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 	s.emitPageArgs(at, -1, sp.page, "FINISHREL",
 		[3]int64{int64(sp.keepWriter), int64(len(sp.pendRel)), int64(len(sp.pendReq))},
 		"keep=%d pendRel=%v pendReq=%v", sp.keepWriter, sp.pendRel, sp.pendReq)
-	sp.readDir = 0
-	sp.writeDir = 0
+	sp.readDir.clear()
+	sp.writeDir.clear()
 	sp.state = sRead
 	if sp.keepWriter >= 0 {
-		sp.writeDir = bit(sp.keepWriter)
+		sp.writeDir.add(sp.keepWriter, s.dirThresh, s.dirGrain)
 		sp.state = sWrite
 		sp.keepWriter = -1
 	}
-	if k := s.cfg.Costs.MigrateAfter; k > 0 && sp.writeDir == 0 && sp.readDir == 0 &&
+	if k := s.cfg.Costs.MigrateAfter; k > 0 && sp.writeDir.empty() && sp.readDir.empty() &&
 		sp.streak >= k && sp.lastReq != s.ssmpOf(sp.homeProc) && len(sp.pendReq) == 0 {
 		s.migrateHome(sp, sp.lastReq, at)
 	}
@@ -728,7 +730,7 @@ func (s *System) finishRel(sp *serverPage, at sim.Time) {
 // protocol); the copy replays its own post-capture writes on top and
 // acknowledges.
 func (s *System) sendRefresh(sp *serverPage, r int, img []byte, at sim.Time) {
-	rc := &sp.rmt[r]
+	rc := sp.rmtGet(r)
 	cp, o := rc.cp, int(rc.owner)
 	s.st.Count("upd.refresh", 1)
 	s.net.Send(sp.homeProc, o, at, s.cfg.PageSize+s.cfg.Costs.CtrlBytes, 0,
@@ -771,7 +773,7 @@ func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
 	oldHome := sp.homeProc
 	oldSSMP := s.ssmpOf(oldHome)
 	newHome := s.ssmpBase(r) + int(uint64(sp.page)%uint64(s.cfg.ClusterSize))
-	if hcp, ok := s.ssmps[oldSSMP].pages[sp.page]; ok && hcp.frame != nil {
+	if hcp := s.ssmps[oldSSMP].pages.get(sp.page); hcp != nil && hcp.frame != nil {
 		for t := hcp.tlbDir; t != 0; t &= t - 1 {
 			q := s.ssmpBase(oldSSMP) + bits.TrailingZeros64(t)
 			s.tlbs[q].Invalidate(sp.page)
@@ -785,12 +787,12 @@ func (s *System) migrateHome(sp *serverPage, r int, at sim.Time) {
 		hcp.state = PInv
 	}
 	// The Server record follows the home: it lives in the home shard's
-	// map so lookups resolve through the (re-homed) address space.
-	delete(s.ssmps[oldSSMP].servers, sp.page)
+	// arena so lookups resolve through the (re-homed) address space.
+	s.ssmps[oldSSMP].servers.del(sp.page)
 	sp.homeProc = newHome
 	sp.streak = 0
 	s.space.Rehome(sp.page, newHome)
-	s.ssmps[r].servers[sp.page] = sp
+	s.ssmps[r].servers.put(sp.page, sp)
 	s.st.Count("migrate", 1)
 	s.emitPage(at, -1, sp.page, "MIGRATE", "home %d -> %d", oldHome, newHome)
 	// The page image travels to the new home's memory.

@@ -111,14 +111,8 @@ func fnvBytes(h uint64, b []byte) uint64 {
 func (s *System) SnapshotProtocol() []PageSnap {
 	var pages []vm.Page
 	for _, ss := range s.ssmps {
-		//mgslint:allow maprange -- collect-then-sort: keys only appended, sorted right after the enclosing loop
-		for v := range ss.servers {
-			pages = append(pages, v)
-		}
-		//mgslint:allow maprange -- collect-then-sort: keys only appended, sorted right after the enclosing loop
-		for v := range ss.pages {
-			pages = append(pages, v)
-		}
+		ss.servers.each(func(v vm.Page, _ *serverPage) { pages = append(pages, v) })
+		ss.pages.each(func(v vm.Page, _ *clientPage) { pages = append(pages, v) })
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	// A client page can exist without a server entry (never faulted
@@ -134,7 +128,7 @@ func (s *System) SnapshotProtocol() []PageSnap {
 			ps.HomeProc = sp.homeProc
 			ps.InRound = sp.state == sRel
 			ps.Writable = sp.state == sWrite
-			ps.ReadDir, ps.WriteDir = sp.readDir, sp.writeDir
+			ps.ReadDir, ps.WriteDir = sp.readDir.mask64(), sp.writeDir.mask64()
 			ps.Count = sp.count
 			ps.KeepWriter = sp.keepWriter
 			ps.SawDiff, ps.HomeDirty = sp.sawDiff, sp.homeDirty
@@ -146,9 +140,9 @@ func (s *System) SnapshotProtocol() []PageSnap {
 		for _, ss := range s.ssmps {
 			cs := ClientSnap{SSMP: ss.id, State: PInv, OwnerProc: -1}
 			if sp != nil {
-				cs.HomeGen = sp.rmt[ss.id].gens
+				cs.HomeGen = sp.rmtGens(ss.id)
 			}
-			if cp, ok := ss.pages[v]; ok {
+			if cp := ss.pages.get(v); cp != nil {
 				cs.State = cp.state
 				cs.HasTwin = cp.twin != nil
 				cs.TLBDir = cp.tlbDir

@@ -157,8 +157,10 @@ func (q pendingReq) String() string {
 // served, so invalidations address the Remote Client without reading
 // the remote SSMP's state), and the count of torn-down incarnations
 // whose teardown replies have reached the home (the WNOTIFY staleness
-// check — see onUpgrade).
+// check — see onUpgrade). Records live in serverPage.rmt, a sparse
+// sorted list holding only the SSMPs actually served (dirset.go).
 type remoteCopy struct {
+	ssmp  int32 // the SSMP this record describes
 	cp    *clientPage
 	owner int32 // global proc owning the SSMP's copy; -1 until first served
 	gens  int64 // teardown replies received from this SSMP
@@ -170,8 +172,8 @@ type serverPage struct {
 	homeProc int
 	frame    *mem.Frame // the physical home copy
 	state    serverState
-	readDir  uint64 // SSMPs with read copies
-	writeDir uint64 // SSMPs with write copies
+	readDir  dirSet // SSMPs with read copies (exact or coarse — dirset.go)
+	writeDir dirSet // SSMPs with write copies
 
 	version     int64       // merges applied to the home frame (lazy release only)
 	lastReq     int         // last remote SSMP served (migration tracking)
@@ -183,8 +185,8 @@ type serverPage struct {
 	keepWriter  int         // SSMP retaining its copy (single-writer opt), or -1
 	sawDiff     bool        // foreign data merged during this round
 	homeDirty   bool        // home-SSMP in-place writes since the last round
-	round       int64       // release rounds opened; the current round's id while state == sRel
-	rmt         []remoteCopy
+	round       int64        // release rounds opened; the current round's id while state == sRel
+	rmt         []remoteCopy // sparse, sorted by ssmp; rmtGet/rmtEnsure
 	pendReRel   []int // releases that must run as a fresh round
 	pendReq     []pendingReq
 	pendRel     []int // processors awaiting RACK
@@ -201,6 +203,11 @@ type System struct {
 
 	tlbs  []*vm.TLB
 	ssmps []*ssmpState
+
+	// Hierarchical directory sizing (dirset.go): exact entries per page
+	// before the coarse collapse, and SSMPs per coarse cluster bit.
+	dirThresh int
+	dirGrain  int
 
 	// acc is the per-processor last-translation micro-cache: the result
 	// of the last successful TLB lookup, revalidated against the TLB
@@ -289,10 +296,10 @@ func (s *System) emitEngine(t sim.Time, proc int, v vm.Page, name string, dur si
 type ssmpState struct {
 	id      int
 	domain  *cache.Domain
-	pages   map[vm.Page]*clientPage
-	servers map[vm.Page]*serverPage // pages homed on this SSMP
-	frames  *mem.FrameAllocator     // this SSMP's physical frame region
-	duqs    []*duq                  // one per local processor
+	pages   pageArena[clientPage]
+	servers pageArena[serverPage] // pages homed on this SSMP
+	frames  *mem.FrameAllocator   // this SSMP's physical frame region
+	duqs    []*duq                // one per local processor
 }
 
 // New wires a System over an engine, network, address space, stats
@@ -307,15 +314,18 @@ func New(eng *sim.Engine, net *msg.Network, space *vm.Space, st *stats.Collector
 		acc:  make([]accEntry, cfg.NProcs),
 	}
 	nssmp := cfg.NProcs / cfg.ClusterSize
+	s.dirThresh = cfg.Costs.DirThreshold
+	if s.dirThresh <= 0 {
+		s.dirThresh = 64
+	}
+	s.dirGrain = (nssmp + 63) / 64
 	for i := 0; i < cfg.NProcs; i++ {
 		s.tlbs[i] = vm.NewTLB(cfg.TLBSize)
 	}
 	for i := 0; i < nssmp; i++ {
 		ss := &ssmpState{
-			id:      i,
-			domain:  cache.NewDomain(cfg.ClusterSize, cfg.PageSize, cfg.CacheParams, cfg.CacheCosts),
-			pages:   make(map[vm.Page]*clientPage),
-			servers: make(map[vm.Page]*serverPage),
+			id:     i,
+			domain: cache.NewDomain(cfg.ClusterSize, cfg.PageSize, cfg.CacheParams, cfg.CacheCosts),
 			// Disjoint frame-ID regions (2^40 IDs each) keep frame tags
 			// machine-wide unique with no cross-SSMP coordination.
 			frames: mem.NewFrameAllocatorAt(uint64(i)<<40, cfg.PageSize),
@@ -406,10 +416,10 @@ func (s *System) recycleTwin(cp *clientPage) {
 
 // ensurePage returns (creating if needed) the SSMP's record for page v.
 func (ss *ssmpState) ensurePage(v vm.Page) *clientPage {
-	cp, ok := ss.pages[v]
-	if !ok {
+	cp := ss.pages.get(v)
+	if cp == nil {
 		cp = &clientPage{page: v, ssmp: ss.id, state: PInv, ownerProc: -1}
-		ss.pages[v] = cp
+		ss.pages.put(v, cp)
 	}
 	return cp
 }
@@ -420,17 +430,16 @@ func (ss *ssmpState) ensurePage(v vm.Page) *clientPage {
 // the home shard's execution context (or host-side, outside the run).
 func (s *System) server(v vm.Page) *serverPage {
 	ss := s.ssmps[s.ssmpOf(s.space.HomeProc(v))]
-	sp, ok := ss.servers[v]
-	if !ok {
+	sp := ss.servers.get(v)
+	if sp == nil {
+		// The per-SSMP copy records (rmt) start empty and grow only as
+		// SSMPs are actually served — home state is O(sharers), not
+		// O(SSMPs) (dirset.go).
 		sp = &serverPage{
 			page: v, homeProc: s.space.HomeProc(v),
 			frame: ss.frames.Alloc(), state: sRead, keepWriter: -1,
-			rmt: make([]remoteCopy, len(s.ssmps)),
 		}
-		for i := range sp.rmt {
-			sp.rmt[i].owner = -1
-		}
-		ss.servers[v] = sp
+		ss.servers.put(v, sp)
 	}
 	return sp
 }
@@ -438,7 +447,7 @@ func (s *System) server(v vm.Page) *serverPage {
 // serverIfExists returns the Server record for page v, or nil if the
 // page has never been served. Same shard discipline as server.
 func (s *System) serverIfExists(v vm.Page) *serverPage {
-	return s.ssmps[s.ssmpOf(s.space.HomeProc(v))].servers[v]
+	return s.ssmps[s.ssmpOf(s.space.HomeProc(v))].servers.get(v)
 }
 
 // BackdoorFrame returns the home frame of the page containing va,
@@ -512,7 +521,7 @@ func (s *System) Access(p *sim.Proc, va vm.Addr, write, pointer bool) (*mem.Fram
 			(ac.priv == vm.Write || !write) {
 			cp = ac.cp
 		} else if priv, ok := tlb.Lookup(page); ok && (priv == vm.Write || !write) {
-			cp = ss.pages[page]
+			cp = ss.pages.get(page)
 			*ac = accEntry{page: page, priv: priv, cp: cp, gen: tlb.Gen()}
 		}
 		if cp != nil {
@@ -527,8 +536,8 @@ func (s *System) Access(p *sim.Proc, va vm.Addr, write, pointer bool) (*mem.Fram
 // Probe reports the Local Client page state of page v in ssmp (tests and
 // tools).
 func (s *System) Probe(ssmp int, v vm.Page) PageState {
-	cp, ok := s.ssmps[ssmp].pages[v]
-	if !ok {
+	cp := s.ssmps[ssmp].pages.get(v)
+	if cp == nil {
 		return PInv
 	}
 	return cp.state
@@ -561,30 +570,23 @@ func (s *System) DUQLen(p int) int {
 func (s *System) DumpServers(f func(format string, args ...any)) {
 	var pages []vm.Page
 	for _, ss := range s.ssmps {
-		//mgslint:allow maprange -- collect-then-sort: keys only appended, sorted right after the enclosing loop
-		for v := range ss.servers {
+		ss.servers.each(func(v vm.Page, _ *serverPage) {
 			pages = append(pages, v)
-		}
+		})
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	for _, v := range pages {
 		sp := s.serverIfExists(v)
 		if sp.state == sRel || len(sp.pendRel) > 0 || len(sp.pendReq) > 0 || sp.count != 0 || len(sp.invQueue) > 0 || sp.refreshing != 0 || len(sp.pendReRel) > 0 {
 			f("page=%d state=%d count=%d invQueue=%v keep=%d round=%d pendRel=%v pendReq=%v pendReRel=%v R=%b W=%b",
-				v, sp.state, sp.count, sp.invQueue, sp.keepWriter, sp.round, sp.pendRel, sp.pendReq, sp.pendReRel, sp.readDir, sp.writeDir)
+				v, sp.state, sp.count, sp.invQueue, sp.keepWriter, sp.round, sp.pendRel, sp.pendReq, sp.pendReRel, sp.readDir.mask64(), sp.writeDir.mask64())
 		}
 	}
 	for si, ss := range s.ssmps {
-		pages = pages[:0]
-		for v := range ss.pages {
-			pages = append(pages, v)
-		}
-		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-		for _, v := range pages {
-			cp := ss.pages[v]
+		ss.pages.each(func(v vm.Page, cp *clientPage) {
 			if cp.lk.held || len(cp.lk.waiters) > 0 || cp.invCount > 0 {
 				f("ssmp=%d page=%d state=%v lkheld=%v lkq=%d invCount=%d", si, v, cp.state, cp.lk.held, len(cp.lk.waiters), cp.invCount)
 			}
-		}
+		})
 	}
 }

@@ -17,7 +17,9 @@ import (
 // sequential reference — same cycles, same breakdown, same counters,
 // same final memory. Workers=1 IS the sequential engine, so these tests
 // compare against it directly. Under -race the multi-worker runs also
-// serve as the shard-isolation race check.
+// serve as the shard-isolation race check. The same contract on the
+// contended topologies — which force the sequential fallback via zero
+// lookahead — is pinned in topology_test.go.
 
 // runWorkers runs one app at the given worker count and returns the
 // result and final memory image.

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mgs/internal/apps"
+	"mgs/internal/core"
+	"mgs/internal/framework"
+	"mgs/internal/harness"
+	"mgs/internal/msg"
+	"mgs/internal/sim"
+)
+
+// Thousand-processor scale experiments (the DSSMP scaling question the
+// paper's 32-processor machine could not ask): the §2.4 performance
+// framework evaluated at P = 256 and P = 1024 on the tiered LAN/WAN
+// topology, with the Server's directory footprint measured alongside —
+// the hierarchical coarse-vector directory keeps it O(sharers) per page
+// instead of O(SSMPs), which is what makes these machine sizes
+// simulable at all.
+
+// ScalePoint is one cluster size of a scale sweep.
+type ScalePoint struct {
+	C        int
+	Cycles   sim.Time
+	LinkWait int64
+	Dir      core.DirectoryStats
+}
+
+// ScaleClusterSizes returns the cluster sizes the framework metrics
+// need at fixed P: C = 1, the geometric middle of the software region,
+// P/2, and P — the minimum set framework.Analyze accepts, kept sparse
+// because every point is a full P-processor simulation.
+func ScaleClusterSizes(p int) []int {
+	mid := 1
+	for mid*mid < p/2 {
+		mid *= 2
+	}
+	cs := []int{1}
+	for _, c := range []int{mid, p / 2, p} {
+		if c > cs[len(cs)-1] {
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// ScaleApp returns the named app sized so a P-processor machine has one
+// natural unit of work per processor (Jacobi rows, MatMul rows, Water
+// molecules...). The fixed SmallApp sizes would leave almost every
+// processor of a 1024-processor machine idle at the barriers.
+func ScaleApp(name string, p int) harness.App {
+	switch name {
+	case "jacobi":
+		return &apps.Jacobi{N: p + 2, Iters: 1}
+	case "matmul":
+		return &apps.MatMul{N: p}
+	case "water":
+		return &apps.Water{N: p, Iters: 1}
+	case "barnes-hut", "barnes":
+		return &apps.BarnesHut{NBodies: p, Iters: 1, Theta: 0.6}
+	}
+	panic(fmt.Sprintf("exp: no scale sizing for app %q", name))
+}
+
+// ScaleSweep runs the named app at fixed P across the given cluster
+// sizes on topo (nil = the uniform LAN), returning the per-point
+// results — cycles, link-wait, directory footprint — and the framework
+// metrics (breakup penalty, multigrain potential, curvature). Points
+// run concurrently under harness.SweepWorkers; contended topologies
+// force each point onto the sequential event dispatcher, so the sweep
+// is the only parallelism at scale.
+func ScaleSweep(name string, p int, topo msg.Topology, cs []int) ([]ScalePoint, framework.Metrics, error) {
+	out := make([]ScalePoint, len(cs))
+	errs := harness.RunIndexed(len(cs), func(i int) error {
+		opts := []harness.Option{}
+		if topo != nil {
+			opts = append(opts, harness.WithTopology(topo))
+		}
+		res, err := harness.RunApp(ScaleApp(name, p), Config(p, cs[i], opts...))
+		if err != nil {
+			return fmt.Errorf("scale %s P=%d C=%d: %w", name, p, cs[i], err)
+		}
+		out[i] = ScalePoint{C: cs[i], Cycles: res.Cycles, LinkWait: res.LinkWait, Dir: res.Dir}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, framework.Metrics{}, err
+		}
+	}
+	var fp []framework.Point
+	for _, pt := range out {
+		fp = append(fp, framework.Point{C: pt.C, Time: float64(pt.Cycles)})
+	}
+	return out, framework.Analyze(fp), nil
+}
+
+// ScaleCSVHeader is ScaleCSV's column set.
+var ScaleCSVHeader = []string{
+	"app", "topology", "p", "c", "cycles", "link_wait",
+	"dir_pages", "dir_rmt_entries", "dir_coarse_pages", "dir_bytes",
+}
+
+// ScaleCSV renders a scale sweep, one row per cluster size.
+func ScaleCSV(name, topology string, p int, points []ScalePoint) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(ScaleCSVHeader, ","))
+	b.WriteByte('\n')
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			name, topology, p, pt.C, pt.Cycles, pt.LinkWait,
+			pt.Dir.Pages, pt.Dir.RmtEntries, pt.Dir.CoarsePages, pt.Dir.Bytes)
+	}
+	return b.String()
+}

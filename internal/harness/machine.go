@@ -36,9 +36,10 @@ type Config struct {
 	// are bit-identical to the sequential engine for every worker count
 	// (1 disarms and is the reference). Configurations the sharded
 	// dispatcher cannot serve — tracing or profiling observers, lazy
-	// release, home migration, the update protocol, mesh or jittered
-	// networks, debug checks, a single SSMP — fall back to sequential
-	// dispatch automatically.
+	// release, home migration, the update protocol, jittered networks,
+	// topologies reporting zero lookahead (mesh, fat-tree, tiered),
+	// debug checks, a single SSMP — fall back to sequential dispatch
+	// automatically.
 	EngineWorkers int
 
 	// Fault, when non-empty, interposes the deterministic fault-injecting
@@ -91,6 +92,24 @@ func WithObserver(o *obs.Observer) Option { return func(c *Config) { c.Obs = o }
 // (Config.EngineWorkers); n <= 1 keeps the sequential dispatcher.
 func WithEngineWorkers(n int) Option { return func(c *Config) { c.EngineWorkers = n } }
 
+// WithTopology selects the inter-SSMP interconnect: msg.NewUniform()
+// (the default, the paper's fixed-delay LAN), msg.NewMesh2D(),
+// msg.NewFatTree(arity), or msg.NewTiered(siteSize). The spec is sized
+// against the machine shape when the network is built.
+func WithTopology(t msg.Topology) Option { return func(c *Config) { c.Msg.Topology = t } }
+
+// WithInterMesh enables the contended 2D-mesh inter-SSMP network at the
+// given per-hop latency.
+//
+// Deprecated: use WithTopology(msg.NewMesh2D()) and set
+// Msg.InterPerHop, or rely on the InterDelay/4 default.
+func WithInterMesh(perHop sim.Time) Option {
+	return func(c *Config) {
+		c.Msg.InterMesh = true
+		c.Msg.InterPerHop = perHop
+	}
+}
+
 // NewConfig returns the calibrated configuration for a P-processor
 // machine with clusters of c processors and the paper's parameters —
 // 1K-byte pages, a 64-entry software TLB, and a 1000-cycle inter-SSMP
@@ -110,6 +129,7 @@ func NewConfig(p, c int, opts ...Option) Config {
 		Msg: msg.Costs{
 			SendOverhead: 100, HandlerEntry: 500, PerHop: 2,
 			BytesPerCycle: 1, InterDelay: 1000, InterOverhead: 800,
+			Topology: DefaultTopology,
 		},
 		Sync: msync.DefaultCosts(),
 	}
@@ -232,6 +252,15 @@ type Result struct {
 	LockHits, LockTotal int64
 	// Message traffic.
 	InterMsgs, InterBytes, IntraMsgs int64
+	// LinkWait is the cycles messages spent queued behind busy links on
+	// contended topologies (0 under the default Uniform LAN).
+	LinkWait int64
+	// Dir is the Server-side directory footprint at end of run
+	// (core.System.DirectoryStats): how many pages hold server state, how
+	// many sparse per-SSMP copy records exist, and how many directories
+	// collapsed to the coarse cluster vector. Deterministic, so it rides
+	// the bit-identity comparisons like every other field.
+	Dir core.DirectoryStats
 	// Counters are the protocol event counters, sorted.
 	Counters []string
 	// Fault is the fault-injection transport's accounting (all zeros on
@@ -269,6 +298,8 @@ func (m *Machine) RunPer(bodyFor func(i int) func(c *Ctx)) (Result, error) {
 		InterMsgs:  m.Net.Counters.InterMsgs,
 		InterBytes: m.Net.Counters.InterBytes,
 		IntraMsgs:  m.Net.Counters.IntraMsgs,
+		LinkWait:   m.Net.Counters.LinkWaitCycles,
+		Dir:        m.DSM.DirectoryStats(),
 		Counters:   m.Stats.Counters(),
 		Fault:      m.Stats.Fault,
 	}, nil
@@ -304,16 +335,16 @@ func (m *Machine) parallelOK() bool {
 	case cfg.Protocol.UpdateProtocol:
 		// Update rounds refresh remote copies from the home frame.
 		return false
-	case cfg.Msg.InterMesh:
-		// Mesh link occupancy is global state with per-hop latency
-		// below the inter-SSMP lookahead bound.
-		return false
 	case cfg.Msg.Jitter > 0:
 		// Jitter draws from one shared deterministic stream.
 		return false
 	case m.DSM.DebugChecks:
 		return false
 	}
+	// The topology has the final word: contended topologies (Mesh2D,
+	// FatTree, Tiered) report zero lookahead — their link occupancy is
+	// shared state with no fixed latency floor — and provably fall back
+	// to sequential dispatch here. Uniform grants its latency bound.
 	return m.Net.Lookahead() > 0
 }
 

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mgs/internal/msg"
 )
 
 // SweepWorkers caps the number of simulations run concurrently by Sweep
@@ -24,6 +26,14 @@ var SweepWorkers = 0
 // dispatch). The -engine-workers flag of the command-line tools sets
 // this.
 var EngineWorkers = 0
+
+// DefaultTopology is the inter-SSMP topology NewConfig applies when no
+// WithTopology option overrides it. Nil (the default) means the paper's
+// uniform fixed-delay LAN. Topology specs are immutable; every machine
+// sizes its own instance and owns its own contention state, so sharing
+// the spec across sweep workers is safe. The -topology flag of the
+// command-line tools sets this.
+var DefaultTopology msg.Topology
 
 // workers resolves SweepWorkers against the job count.
 func workers(n int) int {

@@ -21,7 +21,12 @@ import (
 // it is exported with a *sim.Proc or sim.Time parameter (the public
 // timed API), or unexported with one of the handler/send-path name
 // prefixes (on, send, serve, dispatch, reply, finish) and such a
-// parameter. A candidate must transitively reach at least one charge:
+// parameter. Functions that *return* sim.Time are exempt: they are
+// cost producers — the duration or deadline they compute is the
+// charge, landed by the caller (Network.Latency, Topology.Arrive,
+// Occupancy.Cross) — so auditing them for charges would be reading
+// the rule backwards. A candidate must transitively reach at least
+// one charge:
 // a read of a Costs field, Proc.Advance/Sleep/AddDebt/HandlerStart,
 // Network.Send/Extend/Latency/XferCycles, Engine.After, or Engine.At
 // with a time offset (At with a bare time value merely reschedules).
@@ -119,6 +124,13 @@ func isChargeCandidate(fn *types.Func, decl *ast.FuncDecl) bool {
 	}
 	if !timed {
 		return false
+	}
+	// Cost producers return the time they model; their call sites carry
+	// the charge.
+	for i := 0; i < sig.Results().Len(); i++ {
+		if typeIs(sig.Results().At(i).Type(), "sim", "Time") {
+			return false
+		}
 	}
 	if fn.Exported() {
 		return true

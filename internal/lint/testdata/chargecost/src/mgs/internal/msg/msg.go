@@ -56,3 +56,11 @@ func (n *Network) onRetryTimeoutFree(fire sim.Time, to int, fn func(done sim.Tim
 func (n *Network) sendAckFree(arrive sim.Time, to int) {
 	n.eng.At(arrive, func() {})
 }
+
+// Arrive computes a landing time from link state: a cost producer. It
+// returns sim.Time, so the charge is its result — landed by whichever
+// caller schedules against it — and the analyzer must not demand a
+// charge inside.
+func (n *Network) Arrive(depart sim.Time, bytes int) sim.Time {
+	return depart + sim.Time(bytes)
+}

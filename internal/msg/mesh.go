@@ -1,42 +1,60 @@
 package msg
 
-import "mgs/internal/sim"
+import (
+	"fmt"
 
-// Inter-SSMP mesh topology (extension).
-//
-// MGS's evaluation emulated the inter-SSMP network as a uniform
-// fixed-delay LAN with no contention (§4.2.3) — that remains this
-// package's default. Setting Costs.InterMesh instead arranges the SSMPs
-// in a near-square 2D mesh, routes every inter-SSMP message with
-// dimension-ordered (X-then-Y) routing, and models deterministic
+	"mgs/internal/sim"
+)
+
+// Mesh2D arranges the SSMPs in a near-square 2D mesh with
+// dimension-ordered (X-then-Y) routing and deterministic
 // store-and-forward contention: each directed link serializes the
 // messages that cross it at the configured DMA bandwidth. This answers
 // a question the paper leaves open — how sensitive the multigrain
 // results are to non-uniform, contended inter-SSMP latency — and backs
-// the `mesh` ablation in cmd/mgs-sweep.
-
-// link identifies one directed mesh link by its endpoint SSMP numbers.
-type link struct{ from, to int }
-
-// interMeshW returns the width of the inter-SSMP mesh (smallest square
-// that holds all SSMPs).
-func (n *Network) interMeshW() int {
-	ns := (n.nprocs + n.csize - 1) / n.csize
-	w := 1
-	for w*w < ns {
-		w++
-	}
-	return w
+// the `mesh` ablation in cmd/mgs-sweep. It is the topology the
+// deprecated Costs.InterMesh boolean selects.
+type Mesh2D struct {
+	w      int // mesh width (smallest square holding all SSMPs)
+	perHop sim.Time
+	bpc    int
+	nssmp  int
 }
 
-// interRoute returns the directed links a message visits travelling
-// from SSMP a to SSMP b under X-then-Y dimension-ordered routing.
-func (n *Network) interRoute(a, b int) []link {
-	w := n.interMeshW()
+// NewMesh2D returns the 2D-mesh spec. The per-hop latency resolves to
+// Costs.InterPerHop, or InterDelay/4 when unset.
+func NewMesh2D() *Mesh2D { return &Mesh2D{} }
+
+func (m *Mesh2D) sized(nssmp int, c Costs) Topology {
+	w := 1
+	for w*w < nssmp {
+		w++
+	}
+	perHop := c.InterPerHop
+	if perHop <= 0 {
+		perHop = c.InterDelay / 4
+	}
+	bpc := c.BytesPerCycle
+	if bpc <= 0 {
+		bpc = 1
+	}
+	return &Mesh2D{w: w, perHop: perHop, bpc: bpc, nssmp: nssmp}
+}
+
+// Route returns the directed links a message visits travelling from
+// SSMP a to SSMP b under X-then-Y dimension-ordered routing.
+func (m *Mesh2D) Route(a, b int) []Link {
+	if a == b {
+		return nil
+	}
+	w := m.w
 	ax, ay := a%w, a/w
 	bx, by := b%w, b/w
-	var route []link
+	var route []Link
 	at := func(x, y int) int { return y*w + x }
+	mk := func(from, to int) Link {
+		return Link{From: from, To: to, Latency: m.perHop, BytesPerCycle: m.bpc}
+	}
 	cur := a
 	for ax != bx {
 		step := 1
@@ -45,7 +63,7 @@ func (n *Network) interRoute(a, b int) []link {
 		}
 		ax += step
 		next := at(ax, ay)
-		route = append(route, link{cur, next})
+		route = append(route, mk(cur, next))
 		cur = next
 	}
 	for ay != by {
@@ -55,55 +73,26 @@ func (n *Network) interRoute(a, b int) []link {
 		}
 		ay += step
 		next := at(ax, ay)
-		route = append(route, link{cur, next})
+		route = append(route, mk(cur, next))
 		cur = next
 	}
 	return route
 }
 
-// interHops returns the uncontended hop count between two SSMPs.
-func (n *Network) interHops(a, b int) sim.Time {
-	w := n.interMeshW()
-	dx := a%w - b%w
-	dy := a/w - b/w
-	if dx < 0 {
-		dx = -dx
-	}
-	if dy < 0 {
-		dy = -dy
-	}
-	return sim.Time(dx + dy)
-}
-
-// meshLatency is the uncontended inter-SSMP mesh latency (used by
-// Latency for estimates; Send uses the stateful contended route).
-func (n *Network) meshLatency(from, to, bytes int) sim.Time {
-	hops := n.interHops(n.SSMPOf(from), n.SSMPOf(to))
-	return n.costs.InterOverhead + hops*n.costs.InterPerHop + n.XferCycles(bytes)
-}
-
-// meshArrive walks the message through its route, queueing behind
-// earlier traffic on each directed link, and returns the arrival time
-// at the destination SSMP. Each link is occupied for the message's
-// serialization time (store-and-forward), so two messages crossing the
-// same link back-to-back see each other.
-func (n *Network) meshArrive(from, to int, depart sim.Time, bytes int) sim.Time {
-	a, b := n.SSMPOf(from), n.SSMPOf(to)
-	t := depart + n.costs.InterOverhead
+// Arrive walks the message through its route, queueing behind earlier
+// traffic on each directed link (store-and-forward), so two messages
+// crossing the same link back-to-back see each other.
+func (m *Mesh2D) Arrive(occ *Occupancy, a, b int, depart sim.Time, bytes int) sim.Time {
 	if a == b {
-		return t
+		return depart
 	}
-	xfer := n.XferCycles(bytes)
-	if xfer < 1 {
-		xfer = 1
-	}
-	for _, l := range n.interRoute(a, b) {
-		if busy := n.linkBusy[l]; busy > t {
-			n.Counters.LinkWaitCycles += int64(busy - t)
-			t = busy
-		}
-		n.linkBusy[l] = t + xfer
-		t += n.costs.InterPerHop + xfer
-	}
-	return t
+	return crossRoute(occ, m.Route(a, b), depart, bytes)
+}
+
+// Lookahead is 0: a contended mesh latency has no fixed lower bound the
+// engine can exploit, so the parallel dispatcher must fall back.
+func (m *Mesh2D) Lookahead() sim.Time { return 0 }
+
+func (m *Mesh2D) Describe() string {
+	return fmt.Sprintf("mesh2d(%dx%d,perhop=%d)", m.w, m.w, m.perHop)
 }

@@ -29,29 +29,44 @@ func buildMesh(t *testing.T) (*sim.Engine, *Network, []*sim.Proc) {
 
 func TestMeshRouteIsDimensionOrdered(t *testing.T) {
 	_, n, _ := buildMesh(t)
+	mesh := n.Topology().(*Mesh2D)
 	// SSMP 0 = (0,0) to SSMP 15 = (3,3): X first to (3,0)=3, then Y down
 	// through 7 and 11 to 15.
-	want := []link{{0, 1}, {1, 2}, {2, 3}, {3, 7}, {7, 11}, {11, 15}}
-	got := n.interRoute(0, 15)
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 7}, {7, 11}, {11, 15}}
+	got := mesh.Route(0, 15)
 	if len(got) != len(want) {
 		t.Fatalf("route = %v, want %v", got, want)
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if got[i].From != want[i][0] || got[i].To != want[i][1] {
 			t.Fatalf("route[%d] = %v, want %v", i, got[i], want[i])
 		}
+		if got[i].Latency != 200 || got[i].BytesPerCycle != 2 {
+			t.Fatalf("route[%d] = %+v, want latency 200, bpc 2", i, got[i])
+		}
 	}
-	if len(n.interRoute(5, 5)) != 0 {
+	if len(mesh.Route(5, 5)) != 0 {
 		t.Fatal("self route not empty")
 	}
 }
 
-func TestMeshRouteLengthMatchesHops(t *testing.T) {
+func TestMeshRouteLengthMatchesManhattanDistance(t *testing.T) {
 	_, n, _ := buildMesh(t)
+	mesh := n.Topology().(*Mesh2D)
+	manhattan := func(a, b int) int {
+		dx, dy := a%4-b%4, a/4-b/4
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
 	prop := func(a, b uint8) bool {
 		x, y := int(a%16), int(b%16)
-		return sim.Time(len(n.interRoute(x, y))) == n.interHops(x, y) &&
-			n.interHops(x, y) == n.interHops(y, x)
+		return len(mesh.Route(x, y)) == manhattan(x, y) &&
+			len(mesh.Route(x, y)) == len(mesh.Route(y, x))
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)

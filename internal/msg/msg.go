@@ -9,10 +9,13 @@
 // work-queue home, Water's statistics home — a genuine bottleneck in
 // the simulation, as in the paper.
 //
-// Inter-SSMP messages pay a fixed extra delay, exactly like the paper's
-// emulation: "all messages between logical SSMPs are queued at the
-// sending processor and a timer interrupt is set for some amount of
-// delay". Contention in the LAN is not modeled (nor was it in MGS).
+// Inter-SSMP messages pay a fixed extra delay by default, exactly like
+// the paper's emulation: "all messages between logical SSMPs are queued
+// at the sending processor and a timer interrupt is set for some amount
+// of delay". Contention in the LAN is not modeled under that default
+// (nor was it in MGS); the pluggable Topology interface (topology.go)
+// adds routed, link-contended interconnects — Mesh2D, FatTree, Tiered —
+// for scaling studies beyond the paper's 32 processors.
 package msg
 
 import (
@@ -31,11 +34,17 @@ type Costs struct {
 	InterDelay    sim.Time // fixed inter-SSMP latency (the LAN knob)
 	InterOverhead sim.Time // software protocol stack per inter-SSMP message
 
-	// InterMesh, when true, replaces the uniform inter-SSMP LAN with a
-	// 2D mesh of SSMPs: dimension-ordered routing at InterPerHop cycles
-	// per hop, plus deterministic store-and-forward link contention (see
-	// mesh.go). InterDelay is ignored; InterOverhead is still paid as
-	// the software stack cost.
+	// Topology selects the inter-SSMP interconnect (topology.go). Nil
+	// means the paper's Uniform fixed-delay LAN — unless the deprecated
+	// InterMesh boolean is set, which resolves to Mesh2D. InterOverhead
+	// is always paid as the software stack cost on top of whatever the
+	// topology charges.
+	Topology Topology
+
+	// InterMesh is deprecated: it predates the Topology interface and
+	// is equivalent to Topology: NewMesh2D(). It is consulted only when
+	// Topology is nil. InterPerHop sets the mesh's per-hop latency
+	// (InterDelay/4 when zero).
 	InterMesh   bool
 	InterPerHop sim.Time
 
@@ -85,8 +94,8 @@ const (
 type Counters struct {
 	IntraMsgs, InterMsgs   int64
 	IntraBytes, InterBytes int64
-	// LinkWaitCycles accumulates mesh link queueing delay (InterMesh
-	// mode only).
+	// LinkWaitCycles accumulates link queueing delay on contended
+	// topologies (Mesh2D, FatTree, Tiered; always 0 under Uniform).
 	LinkWaitCycles int64
 }
 
@@ -100,9 +109,11 @@ type Network struct {
 	costs  Costs
 	rng    uint64 // xorshift state for deterministic jitter
 
-	// linkBusy tracks, per directed inter-SSMP mesh link, the time at
-	// which the link next frees (InterMesh mode only).
-	linkBusy map[link]sim.Time
+	// topo is the sized inter-SSMP topology; occ is its per-machine
+	// link-contention state (mutated only on the inter send path, which
+	// contended topologies keep sequential via Lookahead 0).
+	topo Topology
+	occ  Occupancy
 
 	// inj, when non-nil, interposes the fault-injecting reliable
 	// transport on every inter-SSMP message (reliable.go). Nil on the
@@ -138,12 +149,29 @@ func NewNetwork(eng *sim.Engine, procs []*sim.Proc, csize int, costs Costs) *Net
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
-	return &Network{
+	topo := costs.Topology
+	if topo == nil {
+		if costs.InterMesh {
+			topo = NewMesh2D()
+		} else {
+			topo = NewUniform()
+		}
+	}
+	nssmp := (len(procs) + csize - 1) / csize
+	if s, ok := topo.(sizer); ok {
+		topo = s.sized(nssmp, costs)
+	}
+	n := &Network{
 		eng: eng, procs: procs, nprocs: len(procs), csize: csize,
 		meshW: w, costs: costs, rng: seed,
-		linkBusy: make(map[link]sim.Time),
+		topo: topo,
 	}
+	n.occ = newOccupancy(&n.Counters.LinkWaitCycles)
+	return n
 }
+
+// Topology returns the sized inter-SSMP topology in use.
+func (n *Network) Topology() Topology { return n.topo }
 
 // jitter returns the next deterministic pseudo-random extra delay.
 func (n *Network) jitter() sim.Time {
@@ -182,16 +210,37 @@ func (n *Network) hops(a, b int) sim.Time {
 
 // Latency returns the wire+transfer latency of a message of the given
 // payload from processor `from` to processor `to`, excluding send and
-// handler occupancy.
+// handler occupancy. For inter-SSMP messages this is the uncontended
+// estimate over the topology's route: the software stack cost, the sum
+// of link latencies, and one transfer at the route's bottleneck
+// bandwidth. Acks and protocol estimates use it; the contended arrival
+// path is interArrive.
 func (n *Network) Latency(from, to, bytes int) sim.Time {
-	xfer := sim.Time(bytes / n.costs.BytesPerCycle)
 	if n.SSMPOf(from) == n.SSMPOf(to) {
+		xfer := sim.Time(bytes / n.costs.BytesPerCycle)
 		return n.hops(from, to)*n.costs.PerHop + xfer
 	}
-	if n.costs.InterMesh {
-		return n.meshLatency(from, to, bytes)
+	lat := n.costs.InterOverhead
+	minBPC := n.costs.BytesPerCycle
+	for _, l := range n.topo.Route(n.SSMPOf(from), n.SSMPOf(to)) {
+		lat += l.Latency
+		if l.BytesPerCycle > 0 && l.BytesPerCycle < minBPC {
+			minBPC = l.BytesPerCycle
+		}
 	}
-	return n.costs.InterOverhead + n.costs.InterDelay + xfer
+	if minBPC <= 0 {
+		minBPC = 1
+	}
+	return lat + sim.Time(bytes/minBPC)
+}
+
+// interArrive computes the contended arrival time at `to` of an
+// inter-SSMP message leaving `from` at `when`: pay the send overhead
+// and software stack cost, then hand the topology the departure so it
+// can queue the message across its links.
+func (n *Network) interArrive(from, to int, when sim.Time, bytes int) sim.Time {
+	depart := when + n.costs.SendOverhead + n.costs.InterOverhead
+	return n.topo.Arrive(&n.occ, n.SSMPOf(from), n.SSMPOf(to), depart, bytes)
 }
 
 // Send delivers an active message: composed at `when` on processor
@@ -235,8 +284,8 @@ func (n *Network) SendTagged(l sim.Label, from, to int, when sim.Time, bytes int
 		return
 	}
 	var arrive sim.Time
-	if inter && n.costs.InterMesh {
-		arrive = n.meshArrive(from, to, when+n.costs.SendOverhead, bytes) + n.jitter()
+	if inter {
+		arrive = n.interArrive(from, to, when, bytes) + n.jitter()
 	} else {
 		arrive = when + n.costs.SendOverhead + n.Latency(from, to, bytes) + n.jitter()
 	}
@@ -253,21 +302,15 @@ func (n *Network) SendTagged(l sim.Label, from, to int, when sim.Time, bytes int
 }
 
 // Lookahead returns the minimum latency any cross-SSMP scheduling pays
-// under the current cost table — the conservative PDES lookahead the
-// parallel dispatcher may advance shards by. The tightest cross-SSMP
-// gap is a transport-level ack (no send overhead, no payload), so the
-// bound is InterOverhead + InterDelay. Zero means no usable lookahead
-// (a mesh topology's contended latency has no fixed lower bound the
-// engine can exploit).
+// under the current topology — the conservative PDES lookahead the
+// parallel dispatcher may advance shards by. Each topology reports its
+// own bound (Uniform: InterOverhead + InterDelay, the tightest
+// cross-SSMP gap being a transport-level ack). Zero means no usable
+// lookahead: contended topologies (Mesh2D, FatTree, Tiered) queue
+// messages through shared per-link state with no fixed latency floor,
+// so the engine must fall back to sequential dispatch.
 func (n *Network) Lookahead() sim.Time {
-	if n.costs.InterMesh {
-		return 0
-	}
-	l := n.costs.InterOverhead + n.costs.InterDelay
-	if l < 0 {
-		return 0
-	}
-	return l
+	return n.topo.Lookahead()
 }
 
 // SendCost is the occupancy a sender spends launching one message.

@@ -228,14 +228,10 @@ func (in *injector) attempt(m *pending, when sim.Time) {
 		return
 	}
 	// The fault-free arrival this attempt would have had, computed
-	// exactly as the unfaulted path does (mesh contention and jitter
-	// included).
-	var arrive sim.Time
-	if n.costs.InterMesh {
-		arrive = n.meshArrive(m.key.from, m.key.to, when+n.costs.SendOverhead, m.bytes) + n.jitter()
-	} else {
-		arrive = when + n.costs.SendOverhead + n.Latency(m.key.from, m.key.to, m.bytes) + n.jitter()
-	}
+	// exactly as the unfaulted path does (topology contention and
+	// jitter included; the transport only ever carries inter-SSMP
+	// messages).
+	arrive := n.interArrive(m.key.from, m.key.to, when, m.bytes) + n.jitter()
 	if m.attempts == 1 {
 		m.firstEst = arrive
 	}

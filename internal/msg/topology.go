@@ -1,0 +1,346 @@
+package msg
+
+import (
+	"fmt"
+
+	"mgs/internal/sim"
+)
+
+// Pluggable inter-SSMP topologies (extension).
+//
+// MGS emulated the LAN between SSMPs as a uniform fixed delay with no
+// contention (§4.2.3). That stays the default, but at p=256/1024 the
+// interconnect is where DSSMP design decisions bite, so the network is
+// now a first-class Topology: a routing function over directed links,
+// each with its own latency and bandwidth, plus deterministic
+// store-and-forward contention tracked per link. Four implementations
+// ship — Uniform (the paper's LAN), Mesh2D (the PR 3-era InterMesh
+// mode), FatTree (bandwidth fattens toward the root), and Tiered
+// (LAN sites joined by thin, slow WAN links).
+//
+// Every topology also reports its own conservative PDES lookahead.
+// Uniform has a fixed latency floor and no shared state, so the
+// parallel dispatcher may advance shards by InterOverhead+InterDelay.
+// The contended topologies route through a shared Occupancy — sender-
+// shard events would mutate it concurrently — and their queueing delay
+// has no fixed lower bound, so they return 0 and the engine provably
+// falls back to sequential dispatch (harness.parallelOK gates on
+// Network.Lookahead() > 0).
+
+// Link is one directed edge of an inter-SSMP topology. Node numbers are
+// SSMP ids in [0, nssmp); switch nodes use ids >= nssmp. A Link carries
+// its own wire latency and serialization bandwidth, so heterogeneous
+// topologies (thin WAN trunks, fat tree roots) fall out of routing.
+type Link struct {
+	From, To      int
+	Latency       sim.Time // wire latency across this link
+	BytesPerCycle int      // serialization bandwidth of this link
+}
+
+// Occupancy models deterministic store-and-forward contention: each
+// directed link serializes the messages that cross it. The map is
+// lookup-only (never ranged), so determinism is preserved; contended
+// topologies force the sequential dispatcher (Lookahead 0), so no lock
+// is needed.
+type Occupancy struct {
+	busy map[Link]sim.Time
+	wait *int64 // accumulates queueing delay (Counters.LinkWaitCycles)
+}
+
+func newOccupancy(wait *int64) Occupancy {
+	return Occupancy{busy: make(map[Link]sim.Time), wait: wait}
+}
+
+// Cross moves one message across l: it departs at t, waits behind
+// earlier traffic if the link is busy, occupies the link for xfer
+// cycles (store-and-forward), and lands at the far side after the
+// link's wire latency. Returns the arrival time at l.To.
+func (o *Occupancy) Cross(l Link, t, xfer sim.Time) sim.Time {
+	if busy := o.busy[l]; busy > t {
+		*o.wait += int64(busy - t)
+		t = busy
+	}
+	o.busy[l] = t + xfer
+	return t + l.Latency + xfer
+}
+
+// Topology is the pluggable inter-SSMP interconnect. a and b are SSMP
+// numbers. Implementations must be deterministic and, once sized, are
+// immutable — all mutable contention state lives in the Occupancy the
+// caller owns, so one spec can be shared across sweep workers.
+type Topology interface {
+	// Route returns the directed links a message visits from SSMP a to
+	// SSMP b (nil when a == b, or when the topology has no modeled
+	// links between them).
+	Route(a, b int) []Link
+	// Arrive returns the arrival time at SSMP b of a message departing
+	// SSMP a at depart (send overhead and the software stack cost
+	// already paid), updating occ with the links it occupies.
+	Arrive(occ *Occupancy, a, b int, depart sim.Time, bytes int) sim.Time
+	// Lookahead is the conservative PDES lookahead this topology
+	// grants: a lower bound on (arrival - depart) for any cross-SSMP
+	// message, or 0 if contention makes no bound safe.
+	Lookahead() sim.Time
+	// Describe names the topology and its resolved parameters.
+	Describe() string
+}
+
+// sizer is implemented by topology specs that must be resolved against
+// the machine shape (SSMP count) and cost table before use. NewNetwork
+// calls it; the returned Topology is the immutable sized instance.
+type sizer interface {
+	sized(nssmp int, c Costs) Topology
+}
+
+// crossRoute walks a message along route, paying per-link queueing and
+// serialization. Each link charges at least one cycle of serialization
+// so back-to-back messages on the same link always see each other.
+func crossRoute(occ *Occupancy, route []Link, depart sim.Time, bytes int) sim.Time {
+	t := depart
+	for _, l := range route {
+		bpc := l.BytesPerCycle
+		if bpc <= 0 {
+			bpc = 1
+		}
+		xfer := sim.Time(bytes / bpc)
+		if xfer < 1 {
+			xfer = 1
+		}
+		t = occ.Cross(l, t, xfer)
+	}
+	return t
+}
+
+// ByName resolves a topology flag value ("uniform", "mesh", "fattree",
+// "tiered") to an unsized spec with default parameters.
+func ByName(name string) (Topology, error) {
+	switch name {
+	case "", "uniform":
+		return NewUniform(), nil
+	case "mesh":
+		return NewMesh2D(), nil
+	case "fattree":
+		return NewFatTree(0), nil
+	case "tiered":
+		return NewTiered(0), nil
+	}
+	return nil, fmt.Errorf("msg: unknown topology %q (want uniform, mesh, fattree, or tiered)", name)
+}
+
+// TopologyNames lists the ByName spellings, for flag help text.
+func TopologyNames() []string { return []string{"uniform", "mesh", "fattree", "tiered"} }
+
+// Uniform is the paper's emulated LAN: every inter-SSMP message pays
+// the same fixed InterDelay plus DMA transfer, with no contention. Its
+// latency floor gives the parallel engine a real lookahead window.
+type Uniform struct {
+	delay sim.Time
+	oh    sim.Time
+	bpc   int
+}
+
+// NewUniform returns the uniform fixed-delay LAN spec (the default).
+func NewUniform() *Uniform { return &Uniform{} }
+
+func (u *Uniform) sized(nssmp int, c Costs) Topology {
+	bpc := c.BytesPerCycle
+	if bpc <= 0 {
+		bpc = 1
+	}
+	return &Uniform{delay: c.InterDelay, oh: c.InterOverhead, bpc: bpc}
+}
+
+func (u *Uniform) Route(a, b int) []Link {
+	if a == b {
+		return nil
+	}
+	return []Link{{From: a, To: b, Latency: u.delay, BytesPerCycle: u.bpc}}
+}
+
+func (u *Uniform) Arrive(_ *Occupancy, a, b int, depart sim.Time, bytes int) sim.Time {
+	if a == b {
+		return depart
+	}
+	bpc := u.bpc
+	if bpc <= 0 {
+		bpc = 1
+	}
+	return depart + u.delay + sim.Time(bytes/bpc)
+}
+
+// Lookahead: the tightest cross-SSMP gap is a transport ack (no send
+// overhead, no payload), so the bound is InterOverhead + InterDelay.
+func (u *Uniform) Lookahead() sim.Time {
+	l := u.oh + u.delay
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+func (u *Uniform) Describe() string {
+	return fmt.Sprintf("uniform(delay=%d)", u.delay)
+}
+
+// FatTree arranges SSMPs as the leaves of an arity-way tree whose link
+// bandwidth doubles per level toward the root, so root trunks don't
+// starve under all-to-all traffic the way a flat mesh does. Routing
+// climbs to the lowest common ancestor and descends.
+type FatTree struct {
+	arity int
+	nssmp int
+	base  sim.Time // per-link wire latency
+	bpc   int      // leaf-level bandwidth; doubles per level up
+	// starts[lv] is the first node id of tree level lv (level 0 = the
+	// SSMPs themselves; switches take ids >= nssmp).
+	starts []int
+}
+
+// NewFatTree returns a fat-tree spec. arity <= 0 means the default 4.
+func NewFatTree(arity int) *FatTree { return &FatTree{arity: arity} }
+
+func (f *FatTree) sized(nssmp int, c Costs) Topology {
+	arity := f.arity
+	if arity <= 1 {
+		arity = 4
+	}
+	base := c.InterDelay / 4
+	if base < 1 {
+		base = 1
+	}
+	bpc := c.BytesPerCycle
+	if bpc <= 0 {
+		bpc = 1
+	}
+	starts := []int{0}
+	count, id := nssmp, nssmp
+	for count > 1 {
+		count = (count + arity - 1) / arity
+		starts = append(starts, id)
+		id += count
+	}
+	return &FatTree{arity: arity, nssmp: nssmp, base: base, bpc: bpc, starts: starts}
+}
+
+// linkBPC is the bandwidth of links between level lv and lv+1: fatter
+// toward the root, doubling per level (shift capped to stay sane).
+func (f *FatTree) linkBPC(lv int) int {
+	if lv > 20 {
+		lv = 20
+	}
+	return f.bpc << uint(lv)
+}
+
+func (f *FatTree) Route(a, b int) []Link {
+	if a == b {
+		return nil
+	}
+	var up, down []Link
+	ia, ib := a, b
+	for lv := 0; ia != ib; lv++ {
+		pa, pb := ia/f.arity, ib/f.arity
+		bpc := f.linkBPC(lv)
+		up = append(up, Link{From: f.starts[lv] + ia, To: f.starts[lv+1] + pa, Latency: f.base, BytesPerCycle: bpc})
+		down = append(down, Link{From: f.starts[lv+1] + pb, To: f.starts[lv] + ib, Latency: f.base, BytesPerCycle: bpc})
+		ia, ib = pa, pb
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+func (f *FatTree) Arrive(occ *Occupancy, a, b int, depart sim.Time, bytes int) sim.Time {
+	if a == b {
+		return depart
+	}
+	return crossRoute(occ, f.Route(a, b), depart, bytes)
+}
+
+// Lookahead is 0: queueing at shared tree links has no fixed bound, so
+// the engine must fall back to sequential dispatch.
+func (f *FatTree) Lookahead() sim.Time { return 0 }
+
+func (f *FatTree) Describe() string {
+	return fmt.Sprintf("fattree(arity=%d,leaves=%d,levels=%d)", f.arity, f.nssmp, len(f.starts)-1)
+}
+
+// Tiered models a heterogeneous LAN/WAN machine: SSMPs cluster into
+// sites joined by a fast local switch; sites talk over thin, slow WAN
+// trunks. One WAN link per site pair direction, so cross-site traffic
+// serializes hard — the regime where the paper's uniform-LAN
+// conclusions are most at risk.
+type Tiered struct {
+	site   int // SSMPs per site
+	nssmp  int
+	lanLat sim.Time
+	wanLat sim.Time
+	lanBPC int
+	wanBPC int
+}
+
+// NewTiered returns a tiered LAN/WAN spec. siteSize <= 0 means the
+// default 8 SSMPs per site.
+func NewTiered(siteSize int) *Tiered { return &Tiered{site: siteSize} }
+
+func (t *Tiered) sized(nssmp int, c Costs) Topology {
+	site := t.site
+	if site <= 0 {
+		site = 8
+	}
+	lanLat := c.InterDelay / 4
+	if lanLat < 1 {
+		lanLat = 1
+	}
+	wanLat := 10 * c.InterDelay
+	if wanLat < lanLat {
+		wanLat = lanLat
+	}
+	lanBPC := c.BytesPerCycle
+	if lanBPC <= 0 {
+		lanBPC = 1
+	}
+	wanBPC := lanBPC / 4
+	if wanBPC < 1 {
+		wanBPC = 1
+	}
+	return &Tiered{site: site, nssmp: nssmp, lanLat: lanLat, wanLat: wanLat, lanBPC: lanBPC, wanBPC: wanBPC}
+}
+
+// switchOf returns the node id of a site's local switch.
+func (t *Tiered) switchOf(site int) int { return t.nssmp + site }
+
+func (t *Tiered) Route(a, b int) []Link {
+	if a == b {
+		return nil
+	}
+	sa, sb := a/t.site, b/t.site
+	swA, swB := t.switchOf(sa), t.switchOf(sb)
+	lan := func(from, to int) Link {
+		return Link{From: from, To: to, Latency: t.lanLat, BytesPerCycle: t.lanBPC}
+	}
+	if sa == sb {
+		return []Link{lan(a, swA), lan(swA, b)}
+	}
+	return []Link{
+		lan(a, swA),
+		{From: swA, To: swB, Latency: t.wanLat, BytesPerCycle: t.wanBPC},
+		lan(swB, b),
+	}
+}
+
+func (t *Tiered) Arrive(occ *Occupancy, a, b int, depart sim.Time, bytes int) sim.Time {
+	if a == b {
+		return depart
+	}
+	return crossRoute(occ, t.Route(a, b), depart, bytes)
+}
+
+// Lookahead is 0: WAN trunk queueing has no fixed bound, so the engine
+// must fall back to sequential dispatch.
+func (t *Tiered) Lookahead() sim.Time { return 0 }
+
+func (t *Tiered) Describe() string {
+	sites := (t.nssmp + t.site - 1) / t.site
+	return fmt.Sprintf("tiered(sites=%d,site=%d,wan=%d,wanbpc=%d)", sites, t.site, t.wanLat, t.wanBPC)
+}

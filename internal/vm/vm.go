@@ -79,14 +79,18 @@ type Space struct {
 	Layout
 	nprocs int
 	next   Addr
-	homes  map[Page]int // explicit placements (distributed arrays)
+	// homes holds the explicit placements (distributed arrays),
+	// page-indexed with -1 for "interleaved default". Pages are small
+	// dense integers from the bump allocator, so the slice beats a map
+	// on HomeProc — which runs inside every fault and Server lookup.
+	homes []int32
 }
 
 // NewSpace creates an address space for a machine of nprocs processors.
 // Address 0 is kept unmapped so that a zero Addr can serve as nil.
 func NewSpace(pageSize, nprocs int) *Space {
 	l := NewLayout(pageSize)
-	return &Space{Layout: l, nprocs: nprocs, next: Addr(pageSize), homes: make(map[Page]int)}
+	return &Space{Layout: l, nprocs: nprocs, next: Addr(pageSize)}
 }
 
 // Alloc reserves n bytes aligned to align (which must be a power of two,
@@ -116,10 +120,30 @@ func (s *Space) Brk() Addr { return s.next }
 // HomeProc returns the global processor whose memory is home for page p:
 // an explicit placement if one was made, else interleaved by page number.
 func (s *Space) HomeProc(p Page) int {
-	if h, ok := s.homes[p]; ok {
-		return h
+	if int(p) < len(s.homes) {
+		if h := s.homes[p]; h >= 0 {
+			return int(h)
+		}
 	}
 	return int(uint64(p) % uint64(s.nprocs))
+}
+
+// placementSlot grows the placement table to cover page p and returns
+// its index.
+func (s *Space) placementSlot(p Page) int {
+	for int(p) >= len(s.homes) {
+		size := 2 * len(s.homes)
+		if size < int(p)+1 {
+			size = int(p) + 1
+		}
+		grown := make([]int32, size)
+		copy(grown, s.homes)
+		for i := len(s.homes); i < size; i++ {
+			grown[i] = -1
+		}
+		s.homes = grown
+	}
+	return int(p)
 }
 
 // SetHome places page p's home on the given processor. Alewife's
@@ -127,15 +151,16 @@ func (s *Space) HomeProc(p Page) int {
 // owner's memory; applications use this for the same effect. Panics if
 // the page has already been placed elsewhere.
 func (s *Space) SetHome(p Page, proc int) {
-	if old, ok := s.homes[p]; ok && old != proc {
+	i := s.placementSlot(p)
+	if old := s.homes[i]; old >= 0 && int(old) != proc {
 		panic("vm: conflicting home placement")
 	}
-	s.homes[p] = proc
+	s.homes[i] = int32(proc)
 }
 
 // Rehome moves page p's home (dynamic migration — an extension beyond
 // the paper, whose homes are "fixed for all time").
-func (s *Space) Rehome(p Page, proc int) { s.homes[p] = proc }
+func (s *Space) Rehome(p Page, proc int) { s.homes[s.placementSlot(p)] = int32(proc) }
 
 // tlbSlot is one open-addressing slot.
 type tlbSlot struct {

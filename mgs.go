@@ -38,6 +38,7 @@ package mgs
 
 import (
 	"mgs/internal/harness"
+	"mgs/internal/msg"
 	"mgs/internal/sim"
 	"mgs/internal/vm"
 )
@@ -65,6 +66,28 @@ type Addr = vm.Addr
 
 // Time is virtual time in processor clock cycles.
 type Time = sim.Time
+
+// Topology is a pluggable inter-SSMP interconnect: a routing function
+// over directed links with per-link latency and bandwidth, plus a
+// conservative parallel-engine lookahead. See WithTopology.
+type Topology = msg.Topology
+
+// NewUniform returns the paper's uniform fixed-delay LAN topology (the
+// default): every inter-SSMP message pays InterDelay, no contention.
+func NewUniform() Topology { return msg.NewUniform() }
+
+// NewMesh2D returns a near-square 2D mesh of SSMPs with
+// dimension-ordered routing and store-and-forward link contention.
+func NewMesh2D() Topology { return msg.NewMesh2D() }
+
+// NewFatTree returns a fat-tree of SSMPs whose link bandwidth doubles
+// toward the root; arity <= 0 means the default 4.
+func NewFatTree(arity int) Topology { return msg.NewFatTree(arity) }
+
+// NewTiered returns a heterogeneous LAN/WAN topology: sites of siteSize
+// SSMPs on fast local switches, joined by thin, slow WAN trunks;
+// siteSize <= 0 means the default 8.
+func NewTiered(siteSize int) Topology { return msg.NewTiered(siteSize) }
 
 // DefaultConfig returns the calibrated paper configuration for P
 // processors in clusters of c (1K-byte pages, 1000-cycle inter-SSMP

@@ -46,3 +46,16 @@ func WithFaultPlan(p FaultPlan) Option { return harness.WithFaultPlan(p) }
 // profiler. A nil observer — or none at all — keeps every emission path
 // structurally detached; runs are bit-identical either way.
 func WithObserver(o *Observer) Option { return harness.WithObserver(o) }
+
+// WithTopology selects the inter-SSMP interconnect. The default is the
+// paper's uniform fixed-delay LAN (NewUniform); NewMesh2D, NewFatTree,
+// and NewTiered add routed topologies with per-link latency and
+// bandwidth contention for scaling studies:
+//
+//	cfg := mgs.NewConfig(1024, 4, mgs.WithTopology(mgs.NewTiered(8)))
+func WithTopology(t Topology) Option { return harness.WithTopology(t) }
+
+// WithEngineWorkers sets the parallel event-dispatch worker count;
+// n <= 1 keeps the sequential dispatcher. Results are bit-identical at
+// any setting (contended topologies fall back automatically).
+func WithEngineWorkers(n int) Option { return harness.WithEngineWorkers(n) }
