@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	t := cli.New("mgs-check").SweepFlags()
+	t := cli.New("mgs-check").SweepFlags().SyncFlags()
 	var (
 		workloads = flag.String("workloads", "all", "comma-separated workloads, or 'all': "+strings.Join(workloadNames(), ", "))
 		mutate    = flag.Bool("mutate", false, "arm the seeded stale-WNOTIFY bug (mutation regression)")

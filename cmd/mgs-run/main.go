@@ -15,6 +15,7 @@ import (
 
 	"mgs/internal/cli"
 	"mgs/internal/harness"
+	"mgs/internal/msg"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
 )
@@ -41,7 +42,7 @@ func main() {
 	cfg.Protocol.UpdateProtocol = *update
 	cfg.Protocol.LazyRelease = *lazy
 	if *mesh {
-		cfg.Msg.InterMesh = true
+		cfg.Msg.Topology = msg.NewMesh2D()
 		cfg.Msg.InterPerHop = 250
 	}
 

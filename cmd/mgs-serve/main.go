@@ -46,6 +46,7 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "inject 5% message loss (exp.ServeChaosPlan)")
 		sweep      = flag.Bool("sweep", false, "sweep cluster sizes, fault-free and 5%-loss columns")
 		asJSON     = flag.Bool("json", false, "emit the report as JSON")
+		breakdown  = flag.Bool("breakdown", false, "attribute per-request cost: lock wait vs protocol vs transport (profiled run)")
 		enforceSLO = flag.Bool("enforce-slo", false, "exit nonzero if any phase misses the SLO")
 	)
 	t.Parse()
@@ -88,7 +89,11 @@ func main() {
 	if *chaos {
 		plan = exp.ServeChaosPlan(*seed)
 	}
-	rep, _, err := exp.ServeRun(w, t.P, t.C, plan, slo)
+	run := exp.ServeRun
+	if *breakdown {
+		run = exp.ServeRunBreakdown
+	}
+	rep, _, err := run(w, t.P, t.C, plan, slo)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,6 +106,9 @@ func main() {
 		fmt.Printf("%s\n", out)
 	case t.CSV:
 		fmt.Print(rep.CSV())
+		if *breakdown {
+			fmt.Print(rep.BreakdownCSV())
+		}
 	default:
 		printReport(rep)
 	}
@@ -174,6 +182,21 @@ func printReport(rep serve.Report) {
 	}
 	if rep.Dropped > 0 || rep.Retransmit > 0 {
 		fmt.Printf("  transport: %d dropped, %d retransmits\n", rep.Dropped, rep.Retransmit)
+	}
+	if b := rep.Breakdown; b != nil {
+		fmt.Printf("  cost breakdown (%.1f attributed cycles/request):\n", b.PerRequestCycles)
+		for _, row := range []struct {
+			name   string
+			cycles int64
+		}{
+			{"user", b.UserCycles}, {"lock", b.LockCycles}, {"barrier", b.BarrierCycles},
+			{"protocol", b.ProtocolCycles}, {"transport", b.TransportCycles},
+		} {
+			fmt.Printf("    %-10s %14d cycles\n", row.name, row.cycles)
+		}
+		for _, hl := range b.HotLocks {
+			fmt.Printf("    hot lock %-4d %14d cycles\n", hl.ID, hl.Cycles)
+		}
 	}
 	fmt.Printf("  %-8s %6s %12s %12s %12s %12s\n", "phase", "count", "mean", "p50", "p99", "p999")
 	for _, ps := range rep.Phases {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"mgs/internal/exp"
@@ -88,6 +89,55 @@ func TestReportJSONSchema(t *testing.T) {
 	}
 }
 
+// TestBreakdownJSONSchema pins the -breakdown document: the same report
+// shape plus the breakdown object. A plain run must NOT carry the
+// breakdown key (omitempty — checked above); a profiled run adds
+// exactly these paths.
+func TestBreakdownJSONSchema(t *testing.T) {
+	w := serve.DefaultWorkload(true, 1)
+	rep, _, err := exp.ServeRunBreakdown(w, 8, 2, exp.ServeChaosPlan(1),
+		serve.SLO{P99: 2_500_000, P999: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breakdown == nil {
+		t.Fatal("ServeRunBreakdown returned no breakdown")
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExtra := map[string]bool{
+		".breakdown.user_cycles":        true,
+		".breakdown.lock_cycles":        true,
+		".breakdown.barrier_cycles":     true,
+		".breakdown.protocol_cycles":    true,
+		".breakdown.transport_cycles":   true,
+		".breakdown.per_request_cycles": true,
+		".breakdown.hot_locks[].id":     true,
+		".breakdown.hot_locks[].cycles": true,
+	}
+	got := map[string]bool{}
+	for _, p := range sortedPaths(out, t) {
+		if strings.HasPrefix(p, ".breakdown") {
+			got[p] = true
+		}
+	}
+	if !reflect.DeepEqual(got, wantExtra) {
+		t.Fatalf("-breakdown JSON schema drifted:\ngot:  %v\nwant: %v", got, wantExtra)
+	}
+	if sum := rep.Breakdown.LockCycles + rep.Breakdown.BarrierCycles +
+		rep.Breakdown.ProtocolCycles; sum <= 0 {
+		t.Error("breakdown attributed no synchronization or protocol cycles")
+	}
+	if rep.Breakdown.TransportCycles <= 0 {
+		t.Error("5%-loss run attributed no transport recovery cycles")
+	}
+	if len(rep.Breakdown.HotLocks) == 0 {
+		t.Error("no per-lock attribution in a lock-heavy serving run")
+	}
+}
+
 // TestCSVHeaderPinned pins the CSV column sets the same way.
 func TestCSVHeaderPinned(t *testing.T) {
 	wantReport := []string{
@@ -105,6 +155,10 @@ func TestCSVHeaderPinned(t *testing.T) {
 	}
 	if !reflect.DeepEqual(exp.ServeTailCSVHeader, wantSweep) {
 		t.Errorf("sweep CSV header drifted: %v", exp.ServeTailCSVHeader)
+	}
+	wantBreakdown := []string{"component", "cycles", "per_request_cycles"}
+	if !reflect.DeepEqual(serve.BreakdownCSVHeader, wantBreakdown) {
+		t.Errorf("breakdown CSV header drifted: %v", serve.BreakdownCSVHeader)
 	}
 }
 

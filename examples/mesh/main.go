@@ -45,7 +45,7 @@ func main() {
 func run(app string, p, c int, perHop sim.Time) (mgs.Result, int64) {
 	cfg := exp.Config(p, c)
 	if perHop > 0 {
-		cfg.Msg.InterMesh = true
+		cfg.Msg.Topology = mgs.NewMesh2D()
 		cfg.Msg.InterPerHop = perHop
 	}
 	a := exp.SmallApp(app)

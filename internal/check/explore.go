@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"mgs/internal/core"
 	"mgs/internal/harness"
+	"mgs/internal/msync"
 	"mgs/internal/obs"
 	"mgs/internal/sim"
 )
@@ -166,7 +168,19 @@ type runChooser struct {
 type machineRefs struct {
 	eng  *sim.Engine
 	dsm  *core.System
+	sync *msync.System
 	stop func(error)
+}
+
+// syncState renders the synchronization state as DumpState text — the
+// canonical form folded into the state hash, so two interleavings that
+// differ only in lock/barrier protocol state stay distinct.
+func (m machineRefs) syncState() string {
+	var sb strings.Builder
+	m.sync.DumpState(func(format string, args ...any) {
+		fmt.Fprintf(&sb, format+"\n", args...)
+	})
+	return sb.String()
 }
 
 // Choose implements sim.Chooser.
@@ -196,7 +210,7 @@ func (rc *runChooser) Choose(now sim.Time, ready []sim.Choice) int {
 	}
 	first := false
 	if rc.ex != nil {
-		h := stateHash(snaps, rc.rs.ip, ready)
+		h := stateHash(snaps, rc.m.syncState(), rc.rs.ip, ready)
 		if _, ok := rc.ex.visited[h]; !ok {
 			rc.ex.visited[h] = struct{}{}
 			first = true
@@ -282,7 +296,7 @@ func execute(ex *explorer, w Workload, prefix []int, mutate bool, sink obs.Sink)
 	m, rs, base := w.newMachine(spec, sink, mutate)
 	rc := &runChooser{
 		ex: ex, w: w, prefix: prefix, spec: spec, rs: rs,
-		m:            machineRefs{eng: m.Eng, dsm: m.DSM, stop: m.Eng.Stop},
+		m:            machineRefs{eng: m.Eng, dsm: m.DSM, sync: m.Sync, stop: m.Eng.Stop},
 		replayMutate: mutate,
 	}
 	m.Eng.SetChooser(rc)
@@ -311,6 +325,8 @@ func execute(ex *explorer, w Workload, prefix []int, mutate bool, sink obs.Sink)
 		final("invariant", checkInvariants(w, snaps, nil))
 	case quiescence(snaps) != nil:
 		final("invariant", quiescence(snaps))
+	case m.Sync.Quiescent() != nil:
+		final("invariant", m.Sync.Quiescent())
 	case w.finalChecks(m, rs) != nil:
 		final("value", w.finalChecks(m, rs))
 	}
@@ -341,7 +357,7 @@ func quiescence(snaps []core.PageSnap) error {
 // flight (sorted by label, so two states differing only in virtual
 // clocks hash alike — the abstraction that makes pruning effective;
 // see DESIGN.md for the soundness discussion).
-func stateHash(snaps []core.PageSnap, ip []int64, ready []sim.Choice) uint64 {
+func stateHash(snaps []core.PageSnap, syncState string, ip []int64, ready []sim.Choice) uint64 {
 	h := uint64(14695981039346656037)
 	u := func(v uint64) {
 		for i := 0; i < 8; i++ {
@@ -395,6 +411,7 @@ func stateHash(snaps []core.PageSnap, ip []int64, ready []sim.Choice) uint64 {
 			u(cs.TwinSum)
 		}
 	}
+	str(syncState)
 	for _, v := range ip {
 		u(uint64(v))
 	}

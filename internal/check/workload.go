@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"mgs/internal/harness"
+	"mgs/internal/msync/algo"
 	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/vm"
@@ -31,6 +32,16 @@ const (
 	// OpFence drains the processor's delayed update queue (an explicit
 	// release point).
 	OpFence
+	// OpLockedAdd acquires lock 0, reads the word, computes, writes back
+	// the value plus the op's sentinel, and releases. Words touched by
+	// OpLockedAdd are "locked words": many processors may add to them
+	// (the lock serializes), and at quiescence the word must hold
+	// exactly the sum of every OpLockedAdd sentinel — the value oracle
+	// that catches a mutual-exclusion violation as a lost update.
+	OpLockedAdd
+	// OpBarrier arrives at barrier 0. Every processor's script must
+	// contain the same number of OpBarrier ops.
+	OpBarrier
 )
 
 // Op is one scripted operation.
@@ -53,6 +64,13 @@ type Workload struct {
 	Delay    sim.Time // inter-SSMP latency override (0 = harness default)
 	Home     []int    // home processor of each page
 	Script   [][]Op   // per-processor op sequences
+
+	// Lock and Barrier select the synchronization algorithms
+	// (internal/msync/algo names) used by OpLockedAdd and OpBarrier.
+	// Empty inherits the tool-level default (normally the native
+	// primitives).
+	Lock    string
+	Barrier string
 }
 
 // WriteVal is the sentinel op (proc, index) writes: unique per op, so a
@@ -64,7 +82,7 @@ func Workloads() []Workload {
 	w := func(p, wd int) Op { return Op{Kind: OpWrite, Page: p, Word: wd} }
 	r := func(p, wd int) Op { return Op{Kind: OpRead, Page: p, Word: wd} }
 	f := Op{Kind: OpFence}
-	return []Workload{
+	return append([]Workload{
 		{
 			// Two SSMPs write disjoint words of one page homed at proc 0
 			// and cross-read: the multiple-writer twin/diff path, home
@@ -117,7 +135,42 @@ func Workloads() []Workload {
 				{w(0, 2), f, r(0, 0)},
 			},
 		},
+	}, SyncWorkloads()...)
+}
+
+// SyncWorkloads builds one lock workload and one barrier workload per
+// synchronization algorithm (defaults included): two SSMPs hammer one
+// locked counter through all delivery interleavings, checking mutual
+// exclusion (no concurrent critical sections), the summed-update value
+// oracle, and end-of-run sync quiescence; the barrier variant checks
+// cross-barrier write visibility and episode agreement.
+func SyncWorkloads() []Workload {
+	w := func(p, wd int) Op { return Op{Kind: OpWrite, Page: p, Word: wd} }
+	r := func(p, wd int) Op { return Op{Kind: OpRead, Page: p, Word: wd} }
+	la := func(p, wd int) Op { return Op{Kind: OpLockedAdd, Page: p, Word: wd} }
+	bar := Op{Kind: OpBarrier}
+	var ws []Workload
+	for _, name := range algo.LockNames() {
+		ws = append(ws, Workload{
+			Name: "lock-" + name, P: 2, C: 1, Pages: 1, PageSize: 256,
+			Home: []int{0}, Lock: name,
+			Script: [][]Op{
+				{la(0, 0), la(0, 0)},
+				{la(0, 0), la(0, 0)},
+			},
+		})
 	}
+	for _, name := range algo.BarrierNames() {
+		ws = append(ws, Workload{
+			Name: "barrier-" + name, P: 2, C: 1, Pages: 1, PageSize: 256,
+			Home: []int{0}, Barrier: name,
+			Script: [][]Op{
+				{w(0, 0), bar, r(0, 1), bar},
+				{w(0, 1), bar, r(0, 0), bar},
+			},
+		})
+	}
+	return ws
 }
 
 // Lookup finds a built-in workload by name.
@@ -142,29 +195,54 @@ func (w Workload) Validate() error {
 		return fmt.Errorf("check: workload %q: %d procs but %d scripts", w.Name, w.P, len(w.Script))
 	}
 	writer := make(map[[2]int]int)
+	locked := make(map[[2]int]bool)
+	plain := make(map[[2]int]bool)
+	barriers := -1
 	for p, ops := range w.Script {
 		unfenced := false
+		nbar := 0
 		for _, op := range ops {
-			if op.Kind == OpFence {
+			switch op.Kind {
+			case OpFence:
 				unfenced = false
+				continue
+			case OpBarrier:
+				// A barrier is a release point too.
+				unfenced = false
+				nbar++
 				continue
 			}
 			if op.Page < 0 || op.Page >= w.Pages || op.Word < 0 || op.Word >= w.PageSize/8 {
 				return fmt.Errorf("check: workload %q: op out of range page=%d word=%d", w.Name, op.Page, op.Word)
 			}
-			if op.Kind == OpWrite {
+			k := [2]int{op.Page, op.Word}
+			switch op.Kind {
+			case OpWrite:
 				unfenced = true
-				k := [2]int{op.Page, op.Word}
+				plain[k] = true
 				if q, ok := writer[k]; ok && q != p {
 					return fmt.Errorf("check: workload %q: word (%d,%d) written by procs %d and %d (scripts must be DRF)",
 						w.Name, op.Page, op.Word, q, p)
 				}
 				writer[k] = p
+			case OpRead:
+				plain[k] = true
+			case OpLockedAdd:
+				// The lock's release flushes, so a trailing locked add
+				// never leaves unfenced writes.
+				locked[k] = true
+			}
+			if locked[k] && plain[k] {
+				return fmt.Errorf("check: workload %q: word (%d,%d) is both locked and plainly accessed", w.Name, op.Page, op.Word)
 			}
 		}
 		if unfenced {
 			return fmt.Errorf("check: workload %q: proc %d has writes after its last fence", w.Name, p)
 		}
+		if barriers >= 0 && nbar != barriers {
+			return fmt.Errorf("check: workload %q: processors disagree on barrier count (%d vs %d)", w.Name, barriers, nbar)
+		}
+		barriers = nbar
 	}
 	return nil
 }
@@ -183,6 +261,10 @@ type readObs struct {
 type runState struct {
 	ip    []int64
 	reads []readObs
+	// cs counts processors inside lock 0's critical section; csViol
+	// counts overlaps — any overlap is a mutual-exclusion violation of
+	// the lock algorithm under this schedule.
+	cs, csViol int
 }
 
 // wordAddr returns the simulated address of (page, word) in the shared
@@ -206,6 +288,20 @@ func (w Workload) bodyFor(rs *runState, base vm.Addr, i int) func(c *harness.Ctx
 				rs.reads = append(rs.reads, readObs{Proc: i, Idx: k, Page: op.Page, Word: op.Word, Val: v})
 			case OpFence:
 				c.Fence()
+			case OpLockedAdd:
+				c.Acquire(0)
+				if rs.cs != 0 {
+					rs.csViol++
+				}
+				rs.cs++
+				a := w.wordAddr(base, op.Page, op.Word)
+				v := c.LoadI64(a)
+				c.Compute(200)
+				c.StoreI64(a, v+WriteVal(i, k))
+				rs.cs--
+				c.Release(0)
+			case OpBarrier:
+				c.Barrier(0)
 			}
 		}
 		rs.ip[i] = int64(len(ops))
@@ -228,6 +324,12 @@ func (w Workload) newMachine(sp *Spec, extra obs.Sink, mutate bool) (*harness.Ma
 	if w.Delay > 0 {
 		opts = append(opts, harness.WithInterSSMPDelay(w.Delay))
 	}
+	if w.Lock != "" {
+		opts = append(opts, harness.WithLockAlgo(w.Lock))
+	}
+	if w.Barrier != "" {
+		opts = append(opts, harness.WithBarrierAlgo(w.Barrier))
+	}
 	cfg := harness.NewConfig(w.P, w.C, opts...)
 	cfg.Protocol.MutStaleWNotify = mutate
 	m := harness.NewMachine(cfg)
@@ -243,13 +345,28 @@ func (w Workload) newMachine(sp *Spec, extra obs.Sink, mutate bool) (*harness.Ma
 // stores), the home frames hold exactly the last write of every word,
 // and every delayed update queue drained.
 func (w Workload) finalChecks(m *harness.Machine, rs *runState) error {
+	if rs.csViol > 0 {
+		return fmt.Errorf("check: %d mutual-exclusion violations (lock=%q let two processors into the critical section)",
+			rs.csViol, w.Lock)
+	}
 	type wordKey = [2]int
 	writer := make(map[wordKey]int)
 	last := make(map[wordKey]int64)
 	legal := make(map[wordKey]map[int64]bool)
+	lockedSum := make(map[wordKey]int64)
+	nbar := 0
 	for p, ops := range w.Script {
+		pbar := 0
 		for k, op := range ops {
-			if op.Kind != OpWrite {
+			switch op.Kind {
+			case OpBarrier:
+				pbar++
+				continue
+			case OpLockedAdd:
+				lockedSum[wordKey{op.Page, op.Word}] += WriteVal(p, k)
+				continue
+			case OpWrite:
+			default:
 				continue
 			}
 			key := wordKey{op.Page, op.Word}
@@ -259,6 +376,9 @@ func (w Workload) finalChecks(m *harness.Machine, rs *runState) error {
 				legal[key] = map[int64]bool{0: true}
 			}
 			legal[key][WriteVal(p, k)] = true
+		}
+		if pbar > nbar {
+			nbar = pbar
 		}
 	}
 	for _, r := range rs.reads {
@@ -285,6 +405,37 @@ func (w Workload) finalChecks(m *harness.Machine, rs *runState) error {
 			return fmt.Errorf("check: proc %d op %d read word (%d,%d) = %d, not a value any write produced",
 				r.Proc, r.Idx, r.Page, r.Word, r.Val)
 		}
+		// Barrier visibility: a write the reader is separated from by a
+		// passed barrier episode must be seen (it, or a later write by
+		// the same writer) — the oracle that catches a barrier releasing
+		// early under some delivery schedule.
+		if wp, ok := writer[key]; ok && wp != r.Proc {
+			bIdx := barsBefore(w.Script[r.Proc], r.Idx)
+			reqIdx := -1
+			for k, op := range w.Script[wp] {
+				if op.Kind == OpWrite && op.Page == r.Page && op.Word == r.Word && barsBefore(w.Script[wp], k) < bIdx {
+					reqIdx = k
+				}
+			}
+			if reqIdx >= 0 {
+				seen := false
+				for k, op := range w.Script[wp][reqIdx:] {
+					if op.Kind == OpWrite && op.Page == r.Page && op.Word == r.Word && r.Val == WriteVal(wp, reqIdx+k) {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					return fmt.Errorf("check: proc %d op %d read word (%d,%d) = %d across barrier, want proc %d's write %d (barrier=%q leaked)",
+						r.Proc, r.Idx, r.Page, r.Word, r.Val, wp, WriteVal(wp, reqIdx), w.Barrier)
+				}
+			}
+		}
+	}
+	if nbar > 0 {
+		if got := m.Sync.Barrier(0).Episodes(); got != int64(nbar) {
+			return fmt.Errorf("check: barrier episodes = %d, want %d (barrier=%q)", got, nbar, w.Barrier)
+		}
 	}
 	// The shared region is the machine's only allocation; recover its
 	// base from the break and the workload geometry.
@@ -292,6 +443,9 @@ func (w Workload) finalChecks(m *harness.Machine, rs *runState) error {
 	for pg := 0; pg < w.Pages; pg++ {
 		for wd := 0; wd < w.PageSize/8; wd++ {
 			want := last[wordKey{pg, wd}] // zero for unwritten words
+			if s, ok := lockedSum[wordKey{pg, wd}]; ok {
+				want = s // locked words: no update may be lost
+			}
 			got := m.GetI64(w.wordAddr(base, pg, wd))
 			if got != want {
 				return fmt.Errorf("check: final memory word (%d,%d) = %d, want %d (release visibility)",
@@ -305,4 +459,15 @@ func (w Workload) finalChecks(m *harness.Machine, rs *runState) error {
 		}
 	}
 	return nil
+}
+
+// barsBefore counts OpBarrier ops strictly before index idx.
+func barsBefore(ops []Op, idx int) int {
+	n := 0
+	for _, op := range ops[:idx] {
+		if op.Kind == OpBarrier {
+			n++
+		}
+	}
+	return n
 }

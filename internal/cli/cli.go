@@ -15,6 +15,7 @@ import (
 	"mgs/internal/exp"
 	"mgs/internal/harness"
 	"mgs/internal/msg"
+	"mgs/internal/msync/algo"
 )
 
 // Tool holds the shared flag values of one mgs command-line tool.
@@ -35,12 +36,16 @@ type Tool struct {
 	// Topology is the -topology inter-SSMP interconnect selection
 	// (uniform, mesh, fattree, tiered).
 	Topology string
+	// Lock and Barrier are the -lock / -barrier synchronization
+	// algorithm selections (internal/msync/algo names).
+	Lock, Barrier string
 	// CSV selects machine-readable output (-csv).
 	CSV bool
 
 	hasWorkers       bool
 	hasEngineWorkers bool
 	hasTopology      bool
+	hasSync          bool
 }
 
 // New configures the standard tool logging — bare messages prefixed
@@ -73,6 +78,21 @@ func (t *Tool) ShapeFlags(pDef, cDef int, smallDef bool) *Tool {
 	flag.StringVar(&t.Topology, "topology", "uniform",
 		"inter-SSMP interconnect: "+strings.Join(msg.TopologyNames(), ", "))
 	t.hasTopology = true
+	return t.SyncFlags()
+}
+
+// SyncFlags registers -lock and -barrier, the synchronization-algorithm
+// selection every simulation tool shares. ShapeFlags includes it; tools
+// without shape flags (mgs-check) call it directly.
+func (t *Tool) SyncFlags() *Tool {
+	if t.hasSync {
+		return t
+	}
+	flag.StringVar(&t.Lock, "lock", algo.DefaultLock,
+		"lock algorithm: "+strings.Join(algo.LockNames(), ", "))
+	flag.StringVar(&t.Barrier, "barrier", algo.DefaultBarrier,
+		"barrier algorithm: "+strings.Join(algo.BarrierNames(), ", "))
+	t.hasSync = true
 	return t
 }
 
@@ -104,6 +124,16 @@ func (t *Tool) Parse() *Tool {
 			harness.DefaultTopology = topo
 		}
 	}
+	if t.hasSync {
+		if _, err := algo.LockByName(t.Lock); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := algo.BarrierByName(t.Barrier); err != nil {
+			log.Fatal(err)
+		}
+		harness.DefaultLockAlgo = t.Lock
+		harness.DefaultBarrierAlgo = t.Barrier
+	}
 	return t
 }
 
@@ -125,5 +155,5 @@ func (t *Tool) Config(opts ...harness.Option) harness.Config {
 // paper suite first.
 func AppList() []string {
 	return append(append([]string{}, exp.AppNames...),
-		"water-kernel", "water-kernel-tiled", "lu", "serve")
+		"water-kernel", "water-kernel-tiled", "lu", "serve", "syncbench")
 }

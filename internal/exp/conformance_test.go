@@ -6,6 +6,7 @@ import (
 
 	"mgs/internal/fault"
 	"mgs/internal/harness"
+	"mgs/internal/msg"
 
 	"mgs/internal/vm"
 )
@@ -38,9 +39,9 @@ func TestProtocolConformance(t *testing.T) {
 			c.Msg.Jitter = 2000
 			c.Msg.JitterSeed = 17
 		}},
-		{"mesh", func(c *harness.Config) { c.Msg.InterMesh = true; c.Msg.InterPerHop = 250 }},
+		{"mesh", func(c *harness.Config) { c.Msg.Topology = msg.NewMesh2D(); c.Msg.InterPerHop = 250 }},
 		{"mesh-jitter", func(c *harness.Config) {
-			c.Msg.InterMesh = true
+			c.Msg.Topology = msg.NewMesh2D()
 			c.Msg.InterPerHop = 400
 			c.Msg.Jitter = 1500
 			c.Msg.JitterSeed = 13

@@ -10,6 +10,7 @@ import (
 	"mgs/internal/apps"
 	"mgs/internal/framework"
 	"mgs/internal/harness"
+	"mgs/internal/msg"
 	"mgs/internal/serve"
 	"mgs/internal/sim"
 )
@@ -39,6 +40,8 @@ func NewApp(name string) harness.App {
 		return &apps.LU{N: 128, B: 16}
 	case "serve":
 		return apps.NewServe(serve.DefaultWorkload(false, 1))
+	case "syncbench":
+		return &apps.SyncBench{Iters: 12}
 	}
 	panic(fmt.Sprintf("exp: unknown app %q", name))
 }
@@ -64,6 +67,8 @@ func SmallApp(name string) harness.App {
 		return &apps.LU{N: 48, B: 8}
 	case "serve":
 		return apps.NewServe(serve.DefaultWorkload(true, 1))
+	case "syncbench":
+		return &apps.SyncBench{Iters: 4}
 	}
 	panic(fmt.Sprintf("exp: unknown app %q", name))
 }
@@ -287,7 +292,7 @@ func AblationMesh(name string, p int, perHop sim.Time, mk func(string) harness.A
 		return func(c int) harness.Config {
 			cfg := Config(p, c)
 			if useMesh {
-				cfg.Msg.InterMesh = true
+				cfg.Msg.Topology = msg.NewMesh2D()
 				cfg.Msg.InterPerHop = perHop
 			}
 			return cfg

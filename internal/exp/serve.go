@@ -8,7 +8,9 @@ import (
 	"mgs/internal/apps"
 	"mgs/internal/fault"
 	"mgs/internal/harness"
+	"mgs/internal/obs"
 	"mgs/internal/serve"
+	"mgs/internal/stats"
 )
 
 // Serving-workload experiments: the online store (internal/serve) under
@@ -32,6 +34,42 @@ func ServeRun(w serve.Workload, p, c int, plan fault.Plan, slo serve.SLO) (serve
 		return serve.Report{}, nil, err
 	}
 	return app.Report(res, slo), mem, nil
+}
+
+// ServeRunBreakdown is ServeRun with the cycle-attribution profiler
+// armed: the returned report carries a CostBreakdown splitting the
+// run's cycles into user compute, shard-lock wait, barrier wait, MGS
+// protocol work, and transport-fault recovery, plus the per-lock heat
+// ranking (mgs-serve -breakdown).
+func ServeRunBreakdown(w serve.Workload, p, c int, plan fault.Plan, slo serve.SLO) (serve.Report, []byte, error) {
+	app := apps.NewServe(w)
+	o := obs.New().EnableProfiling()
+	cfg := Config(p, c, harness.WithObserver(o))
+	cfg.Fault = plan
+	res, mem, err := harness.RunAppMem(app, cfg)
+	if err != nil {
+		return serve.Report{}, nil, err
+	}
+	rep := app.Report(res, slo)
+	bd := &serve.CostBreakdown{TransportCycles: res.Fault.RecoveryCycles}
+	for _, row := range o.Profiler().Totals() {
+		bd.UserCycles += int64(row[stats.User])
+		bd.LockCycles += int64(row[stats.Lock])
+		bd.BarrierCycles += int64(row[stats.Barrier])
+		bd.ProtocolCycles += int64(row[stats.MGS])
+	}
+	if rep.Requests > 0 {
+		bd.PerRequestCycles = float64(bd.LockCycles+bd.BarrierCycles+
+			bd.ProtocolCycles+bd.TransportCycles) / float64(rep.Requests)
+	}
+	for i, h := range o.Profiler().Heat(obs.ObjLock) {
+		if i == 5 {
+			break
+		}
+		bd.HotLocks = append(bd.HotLocks, serve.HotLock{ID: h.ID, Cycles: int64(h.Cycles)})
+	}
+	rep.Breakdown = bd
+	return rep, mem, nil
 }
 
 // ServeChaosPlan is the serving experiments' fault schedule: 5% message

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mgs/internal/fault"
+	"mgs/internal/harness"
+	"mgs/internal/msync/algo"
+)
+
+// The synchronization zoo's end-to-end contracts, pinned at the exp
+// layer: every lock×barrier algorithm pair survives the 5%-loss chaos
+// envelope with byte-identical final memory, stays bit-identical across
+// engine-worker counts (non-default algorithms force the sequential
+// dispatcher; the matrix proves the gate, not just the engine), and the
+// sweep itself reports sane metrics. Per-algorithm unit behaviour
+// (fairness, hit accounting, pinned histograms) lives in
+// internal/msync/algos_test.go; delivery-interleaving exhaustion lives
+// in internal/check.
+
+// syncCross is the full lock×barrier cross-product.
+func syncCross() []SyncPair {
+	var out []SyncPair
+	for _, l := range algo.LockNames() {
+		for _, b := range algo.BarrierNames() {
+			out = append(out, SyncPair{Lock: l, Barrier: b})
+		}
+	}
+	return out
+}
+
+// runSync runs the small syncbench on a P=8, C=2 machine with the given
+// algorithms, workers, and plan.
+func runSync(t *testing.T, pair SyncPair, workers int, plan fault.Plan) (harness.Result, []byte) {
+	t.Helper()
+	cfg := Config(8, 2,
+		harness.WithLockAlgo(pair.Lock), harness.WithBarrierAlgo(pair.Barrier))
+	cfg.EngineWorkers = workers
+	cfg.Fault = plan
+	res, mem, err := harness.RunAppMem(SmallApp("syncbench"), cfg)
+	if err != nil {
+		t.Fatalf("syncbench %s/%s workers=%d: %v", pair.Lock, pair.Barrier, workers, err)
+	}
+	return res, mem
+}
+
+// TestSyncChaosMemEquivalence is the 5%-loss memory-equivalence gate
+// over the full algorithm cross-product: message loss may change when
+// everything happens, never what memory holds at the end — and the
+// app's own lost-update oracle must still pass (RunAppMem verifies).
+func TestSyncChaosMemEquivalence(t *testing.T) {
+	for _, pair := range syncCross() {
+		_, base := runSync(t, pair, 0, fault.Plan{})
+		for _, seed := range []uint64{1, 2} {
+			_, mem := runSync(t, pair, 0, SyncLossPlan(seed))
+			if !bytes.Equal(base, mem) {
+				t.Errorf("%s/%s seed=%d: 5%%-loss final memory diverges from fault-free",
+					pair.Lock, pair.Barrier, seed)
+			}
+		}
+	}
+}
+
+// TestSyncEngineWorkersBitIdentical pins the parallel-dispatch gate
+// over the cross-product: any worker count must be bit-identical to the
+// sequential reference. Non-default algorithms are gated to sequential
+// dispatch (harness parallelOK), so this holds by construction — the
+// test proves the gate actually fires.
+func TestSyncEngineWorkersBitIdentical(t *testing.T) {
+	for _, pair := range syncCross() {
+		refRes, refMem := runSync(t, pair, 1, fault.Plan{})
+		for _, w := range []int{4, 8} {
+			res, mem := runSync(t, pair, w, fault.Plan{})
+			if !reflect.DeepEqual(refRes, res) {
+				t.Errorf("%s/%s workers=%d: result diverges from sequential\nseq: %+v\npar: %+v",
+					pair.Lock, pair.Barrier, w, refRes, res)
+				continue
+			}
+			if !bytes.Equal(refMem, mem) {
+				t.Errorf("%s/%s workers=%d: final memory diverges", pair.Lock, pair.Barrier, w)
+			}
+		}
+	}
+}
+
+// TestSyncSweepWorkersIndependent pins that SyncSweep's output is
+// independent of the harness.SweepWorkers width.
+func TestSyncSweepWorkersIndependent(t *testing.T) {
+	sweep := func(workers int) []SyncPoint {
+		old := harness.SweepWorkers
+		harness.SweepWorkers = workers
+		defer func() { harness.SweepWorkers = old }()
+		pts, err := SyncSweep(8, []int{2, 8}, SmallApp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return pts
+	}
+	seq := sweep(1)
+	par := sweep(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sweep diverges across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+	for _, pt := range seq {
+		if !pt.MemOK {
+			t.Errorf("%s/%s C=%d: loss run memory diverged", pt.Lock, pt.Barrier, pt.C)
+		}
+		if pt.LockHitRatio < 0 || pt.LockHitRatio > 1 {
+			t.Errorf("%s/%s C=%d: hit ratio %v out of range", pt.Lock, pt.Barrier, pt.C, pt.LockHitRatio)
+		}
+		if pt.C < 8 && pt.BarrierMeanWait <= 0 {
+			t.Errorf("%s/%s C=%d: no barrier wait recorded", pt.Lock, pt.Barrier, pt.C)
+		}
+		if pt.CSDilation < 1 {
+			t.Errorf("%s/%s C=%d: CS dilation %v below nominal", pt.Lock, pt.Barrier, pt.C, pt.CSDilation)
+		}
+	}
+}
+
+// TestSyncDefaultsKeepSuiteByteIdentical pins the default-path contract
+// at the exp layer: explicitly selecting the default algorithm names
+// yields results and memory bit-identical to a config that never
+// mentions them, for a lock- and barrier-heavy app from the paper suite.
+func TestSyncDefaultsKeepSuiteByteIdentical(t *testing.T) {
+	for _, name := range []string{"tsp", "syncbench"} {
+		plainRes, plainMem, err := harness.RunAppMem(SmallApp(name), Config(8, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		selRes, selMem, err := harness.RunAppMem(SmallApp(name),
+			Config(8, 2, harness.WithLockAlgo(algo.DefaultLock), harness.WithBarrierAlgo(algo.DefaultBarrier)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plainRes, selRes) {
+			t.Errorf("%s: explicit defaults diverge from unset:\nunset: %+v\nnamed: %+v", name, plainRes, selRes)
+		}
+		if !bytes.Equal(plainMem, selMem) {
+			t.Errorf("%s: explicit defaults change final memory", name)
+		}
+	}
+}

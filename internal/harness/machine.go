@@ -12,6 +12,7 @@ import (
 	"mgs/internal/fault"
 	"mgs/internal/msg"
 	"mgs/internal/msync"
+	"mgs/internal/msync/algo"
 	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
@@ -62,6 +63,16 @@ type Config struct {
 	CacheHW  cache.Params
 	Msg      msg.Costs
 	Sync     msync.Costs
+
+	// LockAlgo and BarrierAlgo name the synchronization algorithms from
+	// internal/msync/algo ("token", "ticket", "mcs", "tournament" /
+	// "tree", "sense", "dissemination", "mcstree", "tournament"). Empty
+	// or the default name keeps the native primitives — and the native
+	// fast paths in the parallel dispatcher; any other algorithm forces
+	// sequential event dispatch (its handlers share per-object state
+	// across SSMP shards).
+	LockAlgo    string
+	BarrierAlgo string
 }
 
 // Option mutates a Config under construction (NewConfig).
@@ -98,6 +109,15 @@ func WithEngineWorkers(n int) Option { return func(c *Config) { c.EngineWorkers 
 // against the machine shape when the network is built.
 func WithTopology(t msg.Topology) Option { return func(c *Config) { c.Msg.Topology = t } }
 
+// WithLockAlgo selects the lock algorithm by name (algo.LockNames);
+// "" or "token" keeps the native two-level token lock.
+func WithLockAlgo(name string) Option { return func(c *Config) { c.LockAlgo = name } }
+
+// WithBarrierAlgo selects the barrier algorithm by name
+// (algo.BarrierNames); "" or "tree" keeps the native two-level tree
+// barrier.
+func WithBarrierAlgo(name string) Option { return func(c *Config) { c.BarrierAlgo = name } }
+
 // WithInterMesh enables the contended 2D-mesh inter-SSMP network at the
 // given per-hop latency.
 //
@@ -131,7 +151,9 @@ func NewConfig(p, c int, opts ...Option) Config {
 			BytesPerCycle: 1, InterDelay: 1000, InterOverhead: 800,
 			Topology: DefaultTopology,
 		},
-		Sync: msync.DefaultCosts(),
+		Sync:        msync.DefaultCosts(),
+		LockAlgo:    DefaultLockAlgo,
+		BarrierAlgo: DefaultBarrierAlgo,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -195,6 +217,17 @@ func NewMachine(cfg Config) *Machine {
 	m.DSM.Obs = cfg.Obs
 	m.Sync = msync.New(m.Eng, m.DSM, m.Net, st, m.Procs, cfg.Sync)
 	m.Sync.Obs = cfg.Obs
+	la, err := algo.LockByName(cfg.LockAlgo)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	ba, err := algo.BarrierByName(cfg.BarrierAlgo)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	if la != nil || ba != nil {
+		m.Sync.SetAlgos(la, ba)
+	}
 	return m
 }
 
@@ -339,6 +372,11 @@ func (m *Machine) parallelOK() bool {
 		// Jitter draws from one shared deterministic stream.
 		return false
 	case m.DSM.DebugChecks:
+		return false
+	case !algo.IsDefaultLock(cfg.LockAlgo), !algo.IsDefaultBarrier(cfg.BarrierAlgo):
+		// Zoo algorithms keep per-object state (queues, brackets, round
+		// counters) that home-side handlers on different SSMPs mutate;
+		// only the native primitives are shard-annotated.
 		return false
 	}
 	// The topology has the final word: contended topologies (Mesh2D,

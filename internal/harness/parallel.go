@@ -35,6 +35,16 @@ var EngineWorkers = 0
 // command-line tools sets this.
 var DefaultTopology msg.Topology
 
+// DefaultLockAlgo and DefaultBarrierAlgo are the synchronization
+// algorithm names NewConfig applies when no WithLockAlgo /
+// WithBarrierAlgo option overrides them. Empty (the default) means the
+// native primitives — the two-level token lock and tree barrier. The
+// -lock and -barrier flags of the command-line tools set these.
+var (
+	DefaultLockAlgo    string
+	DefaultBarrierAlgo string
+)
+
 // workers resolves SweepWorkers against the job count.
 func workers(n int) int {
 	w := SweepWorkers

@@ -22,18 +22,19 @@ import "strings"
 // exception of harness's sweep worker pool, which nogoroutine also
 // watches (see scopeNoGoroutine).
 var deterministicPkgs = map[string]bool{
-	"sim":   true,
-	"core":  true,
-	"vm":    true,
-	"mem":   true,
-	"msg":   true,
-	"msync": true,
-	"apps":  true,
-	"cache": true,
-	"fault": true,
-	"obs":   true, // sinks fire from engine context; see internal/obs
-	"check": true, // spec Feed and Chooser.Choose fire from engine context
-	"serve": true, // store ops run in Proc bodies; trace generation is host-side but seeded
+	"sim":        true,
+	"core":       true,
+	"vm":         true,
+	"mem":        true,
+	"msg":        true,
+	"msync":      true,
+	"apps":       true,
+	"cache":      true,
+	"fault":      true,
+	"obs":        true, // sinks fire from engine context; see internal/obs
+	"check":      true, // spec Feed and Chooser.Choose fire from engine context
+	"serve":      true, // store ops run in Proc bodies; trace generation is host-side but seeded
+	"msync/algo": true, // lock/barrier algorithms run in proc and handler context
 }
 
 // canonicalPath strips go vet's test-variant suffix: the package
@@ -46,13 +47,16 @@ func canonicalPath(path string) string {
 	return path
 }
 
-// internalPkg returns the segment following the last "internal" path
-// element, if it is the final segment ("mgs/internal/sim" → "sim"), or
-// "" otherwise.
+// internalPkg returns the path suffix following the last "internal"
+// element ("mgs/internal/sim" → "sim", "mgs/internal/msync/algo" →
+// "msync/algo"), or "" when the path has no "internal" element — so
+// sub-packages classify by their full internal-relative path.
 func internalPkg(path string) string {
 	segs := strings.Split(canonicalPath(path), "/")
-	if len(segs) >= 2 && segs[len(segs)-2] == "internal" {
-		return segs[len(segs)-1]
+	for i := len(segs) - 2; i >= 0; i-- {
+		if segs[i] == "internal" {
+			return strings.Join(segs[i+1:], "/")
+		}
 	}
 	return ""
 }

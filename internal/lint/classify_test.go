@@ -12,6 +12,9 @@ func TestClassify(t *testing.T) {
 		{"mgs/internal/sim", true, true, false},
 		{"mgs/internal/core", true, true, true},
 		{"mgs/internal/msg", true, true, true},
+		{"mgs/internal/msync", true, true, false},
+		{"mgs/internal/msync/algo", true, true, false},
+		{"mgs/internal/lint/analysis", false, false, false},
 		{"mgs/internal/harness", false, true, false},
 		{"mgs/internal/exp", false, false, false},
 		{"mgs/internal/stats", false, false, false},

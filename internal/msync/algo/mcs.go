@@ -1,0 +1,231 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"mgs/internal/sim"
+)
+
+// MCS is the message-passing MCS queue lock: the lock's home holds only
+// the queue tail; each contender swaps itself in with one message and
+// thereafter the lock travels point-to-point from predecessor to
+// successor. Under contention a handoff is a single message between
+// consecutive holders — a hit whenever they share an SSMP — so locality
+// follows the queue order rather than token residency.
+//
+// Reordering robustness: SWAPs serialize at the home, so queue order is
+// home-arrival order. Every tenure is tagged with a per-processor
+// sequence number; SET-NEXT and MUSTPASS messages carry the tenure they
+// belong to, and a node keeps per-tenure pending lists, so a delayed
+// SET-NEXT from an old tenure can never hand the lock to the wrong
+// tenure's successor no matter how deliveries interleave.
+type MCS struct{}
+
+// Name implements LockAlgo.
+func (MCS) Name() string { return "mcs" }
+
+// NewLock implements LockAlgo.
+func (MCS) NewLock(env Env, id, home int) Lock {
+	return &mcsLock{
+		env: env, id: id, home: home % env.NProcs(),
+		tail: -1, node: make([]mcsNode, env.NProcs()),
+	}
+}
+
+// mcsPend is a successor learned for a specific tenure.
+type mcsPend struct {
+	succ *sim.Proc
+	seq  int64
+}
+
+// mcsNode is one processor's queue node. Its fields are touched by
+// handlers delivered to that processor and by the processor itself.
+type mcsNode struct {
+	seq      int64     // tenure number, incremented at acquire
+	pending  []mcsPend // SET-NEXTs not yet consumed, by tenure
+	mustPass []int64   // tenures released before their successor was known
+}
+
+// mcsLock: the tail lives at the home; nodes live at their processors.
+//
+//mgs:shared
+type mcsLock struct {
+	env  Env
+	id   int
+	home int
+
+	tail    int   //mgs:shardpinned home-side handlers only; sequential dispatcher enforced for non-default algorithms
+	tailSeq int64 //mgs:shardpinned home-side handlers only; sequential dispatcher enforced for non-default algorithms
+
+	node []mcsNode //mgs:shardpinned each element is touched only by its own processor's handlers; sequential dispatcher enforced for non-default algorithms
+
+	heldSince sim.Time //mgs:shardpinned single holder at a time; sequential dispatcher enforced for non-default algorithms
+
+	hits  int64 //mgs:atomic
+	total int64 //mgs:atomic
+}
+
+// Acquire implements Lock: swap into the queue at the home, park until
+// a GRANT (from the home, queue was empty) or a PASS (from the
+// predecessor) wakes us.
+func (l *mcsLock) Acquire(p *sim.Proc) {
+	e := l.env
+	atomic.AddInt64(&l.total, 1)
+	e.ChargeLock(p, e.LockOp())
+	n := &l.node[p.ID]
+	n.seq++
+	seq := n.seq
+	e.EmitLock(p.Clock(), p.ID, l.id, "MCS.SWAP", "proc=%d seq=%d", p.ID, seq)
+	e.ChargeLock(p, e.SendCost())
+	e.Send("MCS.SWAP", l.id, p.ID, l.home, p.Clock(), seq, e.TokenWork(),
+		func(at sim.Time) { l.onSwap(p, seq, at) })
+	c0 := p.Clock()
+	p.Park() // woken holding the lock
+	e.LockWaited(p, p.Clock()-c0)
+}
+
+// onSwap runs at the home: append to the queue. An empty queue grants
+// directly; otherwise the predecessor is told its successor, tagged
+// with the predecessor's tenure.
+func (l *mcsLock) onSwap(p *sim.Proc, seq int64, at sim.Time) {
+	e := l.env
+	prev, prevSeq := l.tail, l.tailSeq
+	l.tail, l.tailSeq = p.ID, seq
+	e.EmitLock(at, -1, l.id, "MCS.TAIL", "proc=%d seq=%d prev=%d", p.ID, seq, prev)
+	if prev < 0 {
+		e.Send("MCS.GRANT", l.id, l.home, p.ID, at, seq, e.TokenWork(),
+			func(at2 sim.Time) { l.wake(p, l.home, at2) })
+		return
+	}
+	e.Send("MCS.SETNEXT", l.id, l.home, prev, at, int64(p.ID), e.TokenWork(),
+		func(at2 sim.Time) { l.onSetNext(prev, prevSeq, p, at2) })
+}
+
+// onSetNext runs at the predecessor: pass immediately if this tenure
+// already released without knowing its successor, else file the
+// successor under its tenure.
+func (l *mcsLock) onSetNext(prev int, prevSeq int64, succ *sim.Proc, at sim.Time) {
+	n := &l.node[prev]
+	for i, s := range n.mustPass {
+		if s == prevSeq {
+			n.mustPass = append(n.mustPass[:i], n.mustPass[i+1:]...)
+			l.pass(prev, succ, at)
+			return
+		}
+	}
+	n.pending = append(n.pending, mcsPend{succ: succ, seq: prevSeq})
+}
+
+// takeSucc removes and returns the successor filed for tenure seq of
+// processor pid, if its SET-NEXT already arrived.
+func (l *mcsLock) takeSucc(pid int, seq int64) (*sim.Proc, bool) {
+	n := &l.node[pid]
+	for i, pe := range n.pending {
+		if pe.seq == seq {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			return pe.succ, true
+		}
+	}
+	return nil, false
+}
+
+// pass sends the lock from processor from to successor succ.
+func (l *mcsLock) pass(from int, succ *sim.Proc, at sim.Time) {
+	e := l.env
+	e.EmitLock(at, -1, l.id, "MCS.PASS", "from=%d to=%d", from, succ.ID)
+	e.Send("MCS.PASS", l.id, from, succ.ID, at, int64(succ.ID), e.TokenWork(),
+		func(at2 sim.Time) { l.wake(succ, from, at2) })
+}
+
+// wake runs at the new holder: count the hit if the lock arrived from
+// the same SSMP, stamp the critical section, wake.
+func (l *mcsLock) wake(p *sim.Proc, from int, at sim.Time) {
+	e := l.env
+	if e.SSMPOf(from) == e.SSMPOf(p.ID) {
+		atomic.AddInt64(&l.hits, 1)
+	}
+	l.heldSince = at + e.LockOp()
+	p.Wake(at + e.LockOp())
+}
+
+// Release implements Lock: hand off to the known successor, or tell the
+// home this tenure is over (the home answers MUSTPASS if a successor's
+// SET-NEXT is still in flight).
+func (l *mcsLock) Release(p *sim.Proc) {
+	e := l.env
+	e.ChargeLock(p, e.LockOp())
+	if l.heldSince > 0 {
+		e.CountCS(p.Clock() - l.heldSince)
+	}
+	seq := l.node[p.ID].seq
+	if succ, ok := l.takeSucc(p.ID, seq); ok {
+		e.ChargeLock(p, e.SendCost())
+		l.pass(p.ID, succ, p.Clock())
+		return
+	}
+	e.EmitLock(p.Clock(), p.ID, l.id, "MCS.REL", "proc=%d seq=%d", p.ID, seq)
+	e.ChargeLock(p, e.SendCost())
+	e.Send("MCS.REL", l.id, p.ID, l.home, p.Clock(), seq, e.TokenWork(),
+		func(at sim.Time) { l.onRel(p.ID, seq, at) })
+}
+
+// onRel runs at the home. If the releaser's tenure is still the tail
+// the queue is empty and the lock goes free; otherwise a successor
+// swapped in behind it and the releaser must pass the lock on as soon
+// as it learns who that is.
+func (l *mcsLock) onRel(pid int, seq int64, at sim.Time) {
+	e := l.env
+	if l.tail == pid && l.tailSeq == seq {
+		l.tail, l.tailSeq = -1, 0
+		e.EmitLock(at, -1, l.id, "MCS.FREE", "proc=%d", pid)
+		return
+	}
+	e.Send("MCS.MUSTPASS", l.id, l.home, pid, at, seq, e.TokenWork(),
+		func(at2 sim.Time) { l.onMustPass(pid, seq, at2) })
+}
+
+// onMustPass runs at the released predecessor: pass now if this
+// tenure's successor is known, else flag the tenure so its SET-NEXT
+// passes on arrival.
+func (l *mcsLock) onMustPass(pid int, seq int64, at sim.Time) {
+	if succ, ok := l.takeSucc(pid, seq); ok {
+		l.pass(pid, succ, at)
+		return
+	}
+	n := &l.node[pid]
+	n.mustPass = append(n.mustPass, seq)
+}
+
+// Stats implements Lock.
+func (l *mcsLock) Stats() (hits, total int64) {
+	return atomic.LoadInt64(&l.hits), atomic.LoadInt64(&l.total)
+}
+
+// Dump implements Dumper.
+func (l *mcsLock) Dump(f func(format string, args ...any)) {
+	f("lock=%d algo=mcs home=%d tail=%d tailSeq=%d", l.id, l.home, l.tail, l.tailSeq)
+	for i := range l.node {
+		n := &l.node[i]
+		if len(n.pending) > 0 || len(n.mustPass) > 0 {
+			var succs []int
+			for _, pe := range n.pending {
+				succs = append(succs, pe.succ.ID)
+			}
+			f("  proc=%d seq=%d pending=%v mustPass=%v", i, n.seq, succs, n.mustPass)
+		}
+	}
+}
+
+// Quiescent implements Quiescer.
+func (l *mcsLock) Quiescent() error {
+	if l.tail >= 0 {
+		return quiesceErrf("lock %d (mcs): tail=%d (held or handoff in flight)", l.id, l.tail)
+	}
+	for i := range l.node {
+		n := &l.node[i]
+		if len(n.pending) > 0 || len(n.mustPass) > 0 {
+			return quiesceErrf("lock %d (mcs): proc %d has pending handoff state", l.id, i)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package msync
 
 import (
+	"fmt"
+
+	"mgs/internal/msync/algo"
 	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
@@ -36,10 +39,15 @@ type localBarrier struct {
 // Barrier returns the barrier with the given id, creating it on first
 // use. Creation is guarded (see System.mu); the created state is a pure
 // function of id, so concurrent first uses agree.
-func (m *System) Barrier(id int) *Barrier {
+func (m *System) Barrier(id int) algo.Barrier {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if b, ok := m.barriers[id]; ok {
+		return b
+	}
+	if m.barrierAlgo != nil {
+		b := &algoBarrier{m: m, id: id, impl: m.barrierAlgo.NewBarrier(algoEnv{m}, id, id%m.p)}
+		m.barriers[id] = b
 		return b
 	}
 	b := &Barrier{m: m, id: id, home: id % m.p, local: make([]localBarrier, m.nssmp())}
@@ -71,7 +79,8 @@ func (b *Barrier) Arrive(p *sim.Proc) {
 		lb.maxClock = 0
 		m.emitSync(when, p.ID, obs.ObjBarrier, b.id, "COMBINE", "ssmp=%d proc=%d", s, p.ID)
 		m.charge(p, stats.Barrier, m.net.SendCost())
-		m.net.Send(p.ID, b.home, when, 32, m.costs.BarrierOp,
+		m.net.SendTagged(sim.Label{Kind: "BAR.COMB", Page: int64(b.id), Src: p.ID, Dst: b.home, Aux: int64(s)},
+			p.ID, b.home, when, 32, m.costs.BarrierOp,
 			func(at sim.Time) { b.onCombine(at) })
 	}
 	lb.waiting = append(lb.waiting, p)
@@ -96,7 +105,8 @@ func (b *Barrier) onCombine(at sim.Time) {
 	m := b.m
 	for s := 0; s < m.nssmp(); s++ {
 		s := s
-		m.net.Send(b.home, m.repProc(s, b.id), at, 32, m.costs.BarrierOp,
+		m.net.SendTagged(sim.Label{Kind: "BAR.REL", Page: int64(b.id), Src: b.home, Dst: m.repProc(s, b.id), Aux: int64(s)},
+			b.home, m.repProc(s, b.id), at, 32, m.costs.BarrierOp,
 			func(at2 sim.Time) { b.onRelease(s, at2) })
 	}
 }
@@ -116,3 +126,33 @@ func (b *Barrier) onRelease(s int, at sim.Time) {
 
 // Episodes reports how many times the barrier has released.
 func (b *Barrier) Episodes() int64 { return b.episodes }
+
+// Dump implements algo.Dumper with the native tree barrier's state, in
+// the format DumpState has always printed.
+func (b *Barrier) Dump(f func(format string, args ...any)) {
+	f("barrier=%d arrived=%d", b.id, b.arrived)
+	for s := range b.local {
+		lb := &b.local[s]
+		if lb.count > 0 || len(lb.waiting) > 0 {
+			var ws []int
+			for _, p := range lb.waiting {
+				ws = append(ws, p.ID)
+			}
+			f("  ssmp=%d count=%d waiting=%v", s, lb.count, ws)
+		}
+	}
+}
+
+// Quiescent implements algo.Quiescer: no partial episode anywhere.
+func (b *Barrier) Quiescent() error {
+	if b.arrived != 0 {
+		return fmt.Errorf("barrier %d (tree): %d SSMP combines unanswered", b.id, b.arrived)
+	}
+	for s := range b.local {
+		lb := &b.local[s]
+		if lb.count > 0 || len(lb.waiting) > 0 {
+			return fmt.Errorf("barrier %d (tree): ssmp %d mid-episode (count=%d waiters=%d)", b.id, s, lb.count, len(lb.waiting))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package msync
+
+import (
+	"mgs/internal/msync/algo"
+	"mgs/internal/obs"
+	"mgs/internal/sim"
+	"mgs/internal/stats"
+)
+
+// algoEnv adapts System to algo.Env: the machine shape, cost table,
+// tagged network sends, and accounting hooks an algorithm programs
+// against. Every algorithm message is a real network send, so it pays
+// topology latency, rides the reliable transport under fault
+// injection, and is a labeled model-checker choice point.
+type algoEnv struct{ m *System }
+
+func (e algoEnv) NProcs() int           { return e.m.p }
+func (e algoEnv) NSSMP() int            { return e.m.nssmp() }
+func (e algoEnv) ClusterSize() int      { return e.m.c }
+func (e algoEnv) SSMPOf(proc int) int   { return e.m.ssmpOf(proc) }
+func (e algoEnv) RepProc(s, id int) int { return e.m.repProc(s, id) }
+
+func (e algoEnv) LockOp() sim.Time    { return e.m.costs.LockOp }
+func (e algoEnv) BarrierOp() sim.Time { return e.m.costs.BarrierOp }
+func (e algoEnv) TokenWork() sim.Time { return e.m.costs.TokenWork }
+func (e algoEnv) SendCost() sim.Time  { return e.m.net.SendCost() }
+
+func (e algoEnv) Send(kind string, id, from, to int, when sim.Time, aux int64, work sim.Time, fn func(at sim.Time)) {
+	e.m.net.SendTagged(sim.Label{Kind: kind, Page: int64(id), Src: from, Dst: to, Aux: aux},
+		from, to, when, 32, work, fn)
+}
+
+func (e algoEnv) ChargeLock(p *sim.Proc, cycles sim.Time) {
+	e.m.charge(p, stats.Lock, cycles)
+}
+
+func (e algoEnv) ChargeBarrier(p *sim.Proc, cycles sim.Time) {
+	e.m.charge(p, stats.Barrier, cycles)
+}
+
+func (e algoEnv) LockWaited(p *sim.Proc, waited sim.Time) {
+	e.m.st.Charge(p.ID, stats.Lock, waited)
+	if e.m.lockWait != nil {
+		e.m.lockWait.Observe(int64(waited))
+	}
+}
+
+func (e algoEnv) BarrierWaited(p *sim.Proc, waited sim.Time) {
+	e.m.st.Charge(p.ID, stats.Barrier, waited)
+	if e.m.barrierWait != nil {
+		e.m.barrierWait.Observe(int64(waited))
+	}
+}
+
+func (e algoEnv) CountCS(held sim.Time) {
+	e.m.st.Count("lock.heldcycles", int64(held))
+	e.m.st.Count("lock.cs", 1)
+}
+
+func (e algoEnv) EmitLock(at sim.Time, proc, id int, name, format string, args ...any) {
+	e.m.emitSync(at, proc, obs.ObjLock, id, name, format, args...)
+}
+
+func (e algoEnv) EmitBarrier(at sim.Time, proc, id int, name, format string, args ...any) {
+	e.m.emitSync(at, proc, obs.ObjBarrier, id, name, format, args...)
+}
+
+// algoLock wraps an algorithm lock with the protocol actions the native
+// token lock performs inline: the ordering yield, the profiler's
+// per-lock attribution window, the release-consistency flush before a
+// release, and the acquire-side validation after a grant. Algorithms
+// stay pure ordering protocols.
+type algoLock struct {
+	m    *System
+	id   int
+	impl algo.Lock
+}
+
+func (l *algoLock) Acquire(p *sim.Proc) {
+	m := l.m
+	p.Yield()
+	pk, pid := m.st.ProfSet(p.ID, obs.ObjLock, int64(l.id))
+	defer m.st.ProfSet(p.ID, pk, pid)
+	l.impl.Acquire(p)
+	m.dsm.AcquireSync(p) // lazy-release acquire-side coherence
+}
+
+func (l *algoLock) Release(p *sim.Proc) {
+	m := l.m
+	p.Yield()
+	pk, pid := m.st.ProfSet(p.ID, obs.ObjLock, int64(l.id))
+	defer m.st.ProfSet(p.ID, pk, pid)
+	m.dsm.ReleaseAll(p) // release-consistency flush (CS dilation)
+	l.impl.Release(p)
+}
+
+func (l *algoLock) Stats() (hits, total int64) { return l.impl.Stats() }
+
+func (l *algoLock) Dump(f func(format string, args ...any)) {
+	if d, ok := l.impl.(algo.Dumper); ok {
+		d.Dump(f)
+		return
+	}
+	f("lock=%d (no state dump)", l.id)
+}
+
+func (l *algoLock) Quiescent() error {
+	if q, ok := l.impl.(algo.Quiescer); ok {
+		return q.Quiescent()
+	}
+	return nil
+}
+
+// algoBarrier is the barrier-side shim: arrival is a release point
+// (drain the delayed update queue first) and exit an acquire point.
+type algoBarrier struct {
+	m    *System
+	id   int
+	impl algo.Barrier
+}
+
+func (b *algoBarrier) Arrive(p *sim.Proc) {
+	m := b.m
+	p.Yield() // surface run-ahead before taking part in ordering
+	pk, pid := m.st.ProfSet(p.ID, obs.ObjBarrier, int64(b.id))
+	defer m.st.ProfSet(p.ID, pk, pid)
+	m.dsm.ReleaseAll(p)
+	b.impl.Arrive(p)
+	m.dsm.AcquireSync(p) // a barrier exit is an acquire (lazy release)
+}
+
+func (b *algoBarrier) Episodes() int64 { return b.impl.Episodes() }
+
+func (b *algoBarrier) Dump(f func(format string, args ...any)) {
+	if d, ok := b.impl.(algo.Dumper); ok {
+		d.Dump(f)
+		return
+	}
+	f("barrier=%d (no state dump)", b.id)
+}
+
+func (b *algoBarrier) Quiescent() error {
+	if q, ok := b.impl.(algo.Quiescer); ok {
+		return q.Quiescent()
+	}
+	return nil
+}

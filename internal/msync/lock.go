@@ -1,9 +1,10 @@
 package msync
 
 import (
-	"sort"
+	"fmt"
 	"sync/atomic"
 
+	"mgs/internal/msync/algo"
 	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
@@ -45,7 +46,7 @@ type localLock struct {
 
 // Lock returns the lock with the given id, creating it on first use. A
 // fresh lock's token sits at its home SSMP.
-func (m *System) Lock(id int) *Lock { return m.LockHomed(id, id%m.p) }
+func (m *System) Lock(id int) algo.Lock { return m.LockHomed(id, id%m.p) }
 
 // LockHomed returns lock id, creating it with its global half on the
 // given processor (a lock placed with the data it protects, as the
@@ -54,7 +55,7 @@ func (m *System) Lock(id int) *Lock { return m.LockHomed(id, id%m.p) }
 // reach a lock's first use concurrently, and the created state is a
 // pure function of (id, home), so whichever racer registers it wins
 // without affecting the simulation.
-func (m *System) LockHomed(id, home int) *Lock {
+func (m *System) LockHomed(id, home int) algo.Lock {
 	// The ci:race-sentinel markers let CI's mutation step delete exactly
 	// these two lines and prove shardsafe re-finds the PR 6 race.
 	m.mu.Lock()         // ci:race-sentinel
@@ -63,6 +64,11 @@ func (m *System) LockHomed(id, home int) *Lock {
 		return l
 	}
 	home %= m.p
+	if m.lockAlgo != nil {
+		l := &algoLock{m: m, id: id, impl: m.lockAlgo.NewLock(algoEnv{m}, id, home)}
+		m.locks[id] = l
+		return l
+	}
 	l := &Lock{
 		m: m, id: id, home: home,
 		local:      make([]localLock, m.nssmp()),
@@ -100,7 +106,8 @@ func (l *Lock) Acquire(p *sim.Proc) {
 		ll.requested = true
 		m.emitSync(p.Clock(), p.ID, obs.ObjLock, l.id, "TOKENREQ", "ssmp=%d proc=%d", s, p.ID)
 		m.charge(p, stats.Lock, m.net.SendCost())
-		m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
+		m.net.SendTagged(sim.Label{Kind: "LK.REQ", Page: int64(l.id), Src: p.ID, Dst: l.home, Aux: int64(s)},
+			p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
 			func(at sim.Time) { l.onTokenReq(s, at) })
 	}
 	c0 := p.Clock()
@@ -140,11 +147,13 @@ func (l *Lock) Release(p *sim.Proc) {
 			// Local waiters remain: re-request the token.
 			ll.requested = true
 			m.charge(p, stats.Lock, m.net.SendCost())
-			m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
+			m.net.SendTagged(sim.Label{Kind: "LK.REQ", Page: int64(l.id), Src: p.ID, Dst: l.home, Aux: int64(s)},
+				p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
 				func(at sim.Time) { l.onTokenReq(s, at) })
 		}
 		m.charge(p, stats.Lock, m.net.SendCost())
-		m.net.Send(p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
+		m.net.SendTagged(sim.Label{Kind: "LK.BACK", Page: int64(l.id), Src: p.ID, Dst: l.home, Aux: int64(s)},
+			p.ID, l.home, p.Clock(), 32, m.costs.TokenWork,
 			func(at sim.Time) { l.onTokenBack(at) })
 		return
 	}
@@ -179,7 +188,8 @@ func (l *Lock) pumpDemand(at sim.Time) {
 	m := l.m
 	owner := l.tokenOwner
 	m.emitSync(at, -1, obs.ObjLock, l.id, "DEMAND", "-> ssmp=%d queue=%v", owner, l.reqQueue)
-	m.net.Send(l.home, m.repProc(owner, l.id), at, 32, m.costs.TokenWork,
+	m.net.SendTagged(sim.Label{Kind: "LK.DEM", Page: int64(l.id), Src: l.home, Dst: m.repProc(owner, l.id), Aux: int64(owner)},
+		l.home, m.repProc(owner, l.id), at, 32, m.costs.TokenWork,
 		func(at2 sim.Time) { l.onDemand(owner, at2) })
 }
 
@@ -201,7 +211,8 @@ func (l *Lock) onDemand(s int, at sim.Time) {
 	}
 	ll.hasToken = false
 	m := l.m
-	m.net.Send(m.repProc(s, l.id), l.home, at, 32, m.costs.TokenWork,
+	m.net.SendTagged(sim.Label{Kind: "LK.BACK", Page: int64(l.id), Src: m.repProc(s, l.id), Dst: l.home, Aux: int64(s)},
+		m.repProc(s, l.id), l.home, at, 32, m.costs.TokenWork,
 		func(at2 sim.Time) { l.onTokenBack(at2) })
 }
 
@@ -220,7 +231,8 @@ func (l *Lock) onTokenBack(at sim.Time) {
 	l.reqQueue = l.reqQueue[1:]
 	l.tokenOwner = next
 	m := l.m
-	m.net.Send(l.home, m.repProc(next, l.id), at, 32, m.costs.TokenWork,
+	m.net.SendTagged(sim.Label{Kind: "LK.GRANT", Page: int64(l.id), Src: l.home, Dst: m.repProc(next, l.id), Aux: int64(next)},
+		l.home, m.repProc(next, l.id), at, 32, m.costs.TokenWork,
 		func(at2 sim.Time) { l.onTokenGrant(next, at2) })
 	// More SSMPs queued: recall the token from its new owner too, after
 	// it serves one holder.
@@ -241,7 +253,8 @@ func (l *Lock) onTokenGrant(s int, at sim.Time) {
 			ll.demand = false
 			ll.hasToken = false
 			m := l.m
-			m.net.Send(m.repProc(s, l.id), l.home, at, 32, m.costs.TokenWork,
+			m.net.SendTagged(sim.Label{Kind: "LK.BACK", Page: int64(l.id), Src: m.repProc(s, l.id), Dst: l.home, Aux: int64(s)},
+				m.repProc(s, l.id), l.home, at, 32, m.costs.TokenWork,
 				func(at2 sim.Time) { l.onTokenBack(at2) })
 		}
 		return
@@ -266,44 +279,56 @@ func (m *System) charge(p *sim.Proc, cat stats.Category, cycles sim.Time) {
 
 // DumpState prints every lock's and barrier's state (deadlock
 // diagnosis; ids print in sorted order so two dumps of the same state
-// compare equal).
+// compare equal). The model checker also folds this text into its
+// state hash, so synchronization state distinguishes interleavings.
 func (m *System) DumpState(f func(format string, args ...any)) {
-	ids := make([]int, 0, len(m.locks))
-	for id := range m.locks {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		l := m.locks[id]
-		f("lock=%d home=%d owner=%d queue=%v demandOut=%v", id, l.home, l.tokenOwner, l.reqQueue, l.demandOut)
-		for s := range l.local {
-			ll := &l.local[s]
-			if ll.hasToken || ll.held || len(ll.waitQ) > 0 || ll.requested || ll.demand {
-				var ws []int
-				for _, p := range ll.waitQ {
-					ws = append(ws, p.ID)
-				}
-				f("  ssmp=%d hasToken=%v held=%v waitQ=%v requested=%v demand=%v", s, ll.hasToken, ll.held, ws, ll.requested, ll.demand)
-			}
+	for _, id := range sortedIDs(m.locks) {
+		if d, ok := m.locks[id].(algo.Dumper); ok {
+			d.Dump(f)
 		}
 	}
-	ids = ids[:0]
-	for id := range m.barriers {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		b := m.barriers[id]
-		f("barrier=%d arrived=%d", id, b.arrived)
-		for s := range b.local {
-			lb := &b.local[s]
-			if lb.count > 0 || len(lb.waiting) > 0 {
-				var ws []int
-				for _, p := range lb.waiting {
-					ws = append(ws, p.ID)
-				}
-				f("  ssmp=%d count=%d waiting=%v", s, lb.count, ws)
-			}
+	for _, id := range sortedIDs(m.barriers) {
+		if d, ok := m.barriers[id].(algo.Dumper); ok {
+			d.Dump(f)
 		}
 	}
+}
+
+// Dump implements algo.Dumper with the native token lock's state, in
+// the format DumpState has always printed.
+func (l *Lock) Dump(f func(format string, args ...any)) {
+	f("lock=%d home=%d owner=%d queue=%v demandOut=%v", l.id, l.home, l.tokenOwner, l.reqQueue, l.demandOut)
+	for s := range l.local {
+		ll := &l.local[s]
+		if ll.hasToken || ll.held || len(ll.waitQ) > 0 || ll.requested || ll.demand {
+			var ws []int
+			for _, p := range ll.waitQ {
+				ws = append(ws, p.ID)
+			}
+			f("  ssmp=%d hasToken=%v held=%v waitQ=%v requested=%v demand=%v", s, ll.hasToken, ll.held, ws, ll.requested, ll.demand)
+		}
+	}
+}
+
+// Quiescent implements algo.Quiescer: the token is at rest with exactly
+// one SSMP, nobody holds or waits, and no recall is in flight.
+func (l *Lock) Quiescent() error {
+	tokens := 0
+	for s := range l.local {
+		ll := &l.local[s]
+		if ll.hasToken {
+			tokens++
+		}
+		if ll.held || len(ll.waitQ) > 0 || ll.requested || ll.demand {
+			return fmt.Errorf("lock %d (token): ssmp %d not settled (held=%v waiters=%d requested=%v demand=%v)",
+				l.id, s, ll.held, len(ll.waitQ), ll.requested, ll.demand)
+		}
+	}
+	if tokens != 1 {
+		return fmt.Errorf("lock %d (token): %d SSMPs hold the token", l.id, tokens)
+	}
+	if l.demandOut || len(l.reqQueue) > 0 {
+		return fmt.Errorf("lock %d (token): home busy (demandOut=%v queue=%v)", l.id, l.demandOut, l.reqQueue)
+	}
+	return nil
 }

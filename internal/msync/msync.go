@@ -21,14 +21,23 @@
 // extension they are acquire points too: every lock grant and barrier
 // exit runs core.System.AcquireSync to validate the acquiring SSMP's
 // copies against the home versions.
+//
+// The algorithms above are the defaults. SetAlgos swaps in any
+// algorithm from the msync/algo zoo (ticket, MCS, tournament locks;
+// sense-reversing, dissemination, MCS-tree, tournament barriers); the
+// release-consistency prologue/epilogue and the profiler attribution
+// stay with System, so every algorithm pays the same coherence costs
+// the defaults do.
 package msync
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"mgs/internal/core"
 	"mgs/internal/msg"
+	"mgs/internal/msync/algo"
 	"mgs/internal/obs"
 	"mgs/internal/sim"
 	"mgs/internal/stats"
@@ -62,8 +71,13 @@ type System struct {
 	// processors on different shards of the parallel dispatcher can
 	// reach a primitive's first use concurrently.
 	mu       sync.Mutex
-	locks    map[int]*Lock    //mgs:guardedby mu
-	barriers map[int]*Barrier //mgs:guardedby mu
+	locks    map[int]algo.Lock    //mgs:guardedby mu
+	barriers map[int]algo.Barrier //mgs:guardedby mu
+
+	// Non-nil algorithm factories replace the native token lock /
+	// two-level tree barrier for primitives created after SetAlgos.
+	lockAlgo    algo.LockAlgo    //mgs:guardedby mu
+	barrierAlgo algo.BarrierAlgo //mgs:guardedby mu
 
 	// Obs is the observability spine; nil or sink-less keeps the trace
 	// path structurally detached.
@@ -80,7 +94,7 @@ func New(eng *sim.Engine, dsm *core.System, net *msg.Network, st *stats.Collecto
 	m := &System{
 		eng: eng, dsm: dsm, net: net, st: st, procs: procs, costs: costs,
 		p: cfg.NProcs, c: cfg.ClusterSize,
-		locks: make(map[int]*Lock), barriers: make(map[int]*Barrier),
+		locks: make(map[int]algo.Lock), barriers: make(map[int]algo.Barrier),
 	}
 	if reg := st.Registry(); reg != nil {
 		m.lockWait = reg.Histogram("lock.waitcycles", nil)
@@ -113,6 +127,55 @@ func (m *System) ssmpOf(proc int) int { return proc / m.c }
 // repProc is the processor that runs SSMP-side handlers for object id in
 // SSMP s — spread across the SSMP's processors by id.
 func (m *System) repProc(s, id int) int { return s*m.c + id%m.c }
+
+// SetAlgos selects the lock and barrier algorithms for primitives not
+// yet created. A nil factory keeps the corresponding native default
+// (token lock / two-level tree barrier). It must run before any lock
+// or barrier exists: algorithms are a machine-wide choice, not a
+// per-primitive one.
+func (m *System) SetAlgos(la algo.LockAlgo, ba algo.BarrierAlgo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.locks) > 0 || len(m.barriers) > 0 {
+		panic("msync: SetAlgos after locks or barriers were created")
+	}
+	m.lockAlgo, m.barrierAlgo = la, ba
+}
+
+// Quiescent reports whether every lock and barrier has fully settled:
+// no holder, no queued waiter, no protocol message logically in flight.
+// The model checker asserts this at the end of every delivery
+// interleaving.
+func (m *System) Quiescent() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range sortedIDs(m.locks) {
+		if q, ok := m.locks[id].(algo.Quiescer); ok {
+			if err := q.Quiescent(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range sortedIDs(m.barriers) {
+		if q, ok := m.barriers[id].(algo.Quiescer); ok {
+			if err := q.Quiescent(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortedIDs returns the map's keys in ascending order, so state walks
+// are deterministic.
+func sortedIDs[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
 
 // LockStats aggregates hit/total across the given locks (all locks if
 // ids is empty).

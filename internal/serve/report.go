@@ -104,6 +104,65 @@ type Report struct {
 	SLO        SLO          `json:"slo"`
 	SLOOK      bool         `json:"slo_ok"`
 	Phases     []PhaseStats `json:"phases"`
+	// Breakdown is the per-request cost attribution (mgs-serve
+	// -breakdown); nil — and absent from JSON — unless the run was
+	// profiled (exp.ServeRunBreakdown).
+	Breakdown *CostBreakdown `json:"breakdown,omitempty"`
+}
+
+// CostBreakdown attributes a serving run's machine time to request cost
+// components: cycles summed across processors per attribution category
+// of the cycle profiler, plus the reliable transport's recovery
+// accounting. The lock column is time blocked on shard locks, protocol
+// is MGS software-coherence work (page faults, release rounds,
+// directory traffic), transport is latency paid to message loss
+// recovery (timeouts, backoff, delayed first deliveries).
+type CostBreakdown struct {
+	UserCycles      int64 `json:"user_cycles"`
+	LockCycles      int64 `json:"lock_cycles"`
+	BarrierCycles   int64 `json:"barrier_cycles"`
+	ProtocolCycles  int64 `json:"protocol_cycles"`
+	TransportCycles int64 `json:"transport_cycles"`
+	// PerRequestCycles is the attributed (non-user) cost per request:
+	// (lock + barrier + protocol + transport) / requests.
+	PerRequestCycles float64 `json:"per_request_cycles"`
+	// HotLocks is the profiler's per-lock attribution, hottest first
+	// (top 5): which shard locks the lock cycles concentrate on.
+	HotLocks []HotLock `json:"hot_locks,omitempty"`
+}
+
+// HotLock is one lock's aggregate attributed cycles.
+type HotLock struct {
+	ID     int64 `json:"id"`
+	Cycles int64 `json:"cycles"`
+}
+
+// BreakdownCSVHeader is the column set of BreakdownCSV.
+var BreakdownCSVHeader = []string{"component", "cycles", "per_request_cycles"}
+
+// BreakdownCSV renders the breakdown as CSV with a header, one row per
+// cost component.
+func (r Report) BreakdownCSV() string {
+	b := r.Breakdown
+	if b == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Join(BreakdownCSVHeader, ","))
+	sb.WriteByte('\n')
+	row := func(name string, cycles int64) {
+		per := 0.0
+		if r.Requests > 0 {
+			per = float64(cycles) / float64(r.Requests)
+		}
+		fmt.Fprintf(&sb, "%s,%d,%.1f\n", name, cycles, per)
+	}
+	row("user", b.UserCycles)
+	row("lock", b.LockCycles)
+	row("barrier", b.BarrierCycles)
+	row("protocol", b.ProtocolCycles)
+	row("transport", b.TransportCycles)
+	return sb.String()
 }
 
 // sloOK checks one phase digest against the objective.

@@ -59,3 +59,19 @@ func WithTopology(t Topology) Option { return harness.WithTopology(t) }
 // n <= 1 keeps the sequential dispatcher. Results are bit-identical at
 // any setting (contended topologies fall back automatically).
 func WithEngineWorkers(n int) Option { return harness.WithEngineWorkers(n) }
+
+// WithLockAlgo selects the lock algorithm by name: "token" (the
+// default two-level MGS token lock), "ticket", "mcs", or "tournament".
+// Every algorithm runs as message sequences over the real protocol, so
+// acquires fault pages, waits charge cycles, and remote handoffs pay
+// interconnect latency on every topology:
+//
+//	cfg := mgs.NewConfig(32, 4, mgs.WithLockAlgo("mcs"))
+func WithLockAlgo(name string) Option { return harness.WithLockAlgo(name) }
+
+// WithBarrierAlgo selects the barrier algorithm by name: "tree" (the
+// default two-level MGS tree barrier), "sense", "dissemination",
+// "mcstree", or "tournament":
+//
+//	cfg := mgs.NewConfig(32, 4, mgs.WithBarrierAlgo("dissemination"))
+func WithBarrierAlgo(name string) Option { return harness.WithBarrierAlgo(name) }
